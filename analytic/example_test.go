@@ -1,0 +1,24 @@
+package analytic_test
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/analytic"
+	"rfd/damping"
+)
+
+// ExamplePredictPulses computes the paper's intended convergence time
+// (Section 3): n = 2 pulses never suppress under Cisco parameters, while
+// n = 5 suppresses and pays the reuse delay.
+func ExamplePredictPulses() {
+	tup := 2 * time.Minute
+	for _, n := range []int{2, 5} {
+		pred, _ := analytic.PredictPulses(damping.Cisco(), n, 60*time.Second, tup)
+		fmt.Printf("n=%d suppressed=%-5t intended convergence %s\n",
+			n, pred.Suppressed, pred.Convergence.Round(time.Minute))
+	}
+	// Output:
+	// n=2 suppressed=false intended convergence 2m0s
+	// n=5 suppressed=true  intended convergence 38m0s
+}

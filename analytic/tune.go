@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rfd/damping"
+)
+
+// Section 3 of the paper observes that the router adjacent to an unstable
+// link "can largely control the trade-off by setting appropriate penalty
+// increments, cut-off threshold, and reuse threshold. The configuration can
+// be tuned so that a small number of flaps does not trigger any damping
+// delay, while a large number of flaps is suppressed." This file implements
+// that tuning: given a flapping pattern, compute the cut-off threshold that
+// places the suppression onset exactly at a desired pulse count.
+
+// OnsetPenalties returns the penalty value right after each event of an
+// n-pulse train (indices 0..2n-1), which is what a cut-off threshold is
+// compared against.
+func OnsetPenalties(params damping.Params, pulses int, interval time.Duration) ([]float64, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	state := damping.NewState(params)
+	events := PulseTrain(pulses, interval)
+	out := make([]float64, 0, len(events))
+	for _, e := range events {
+		ev := state.Update(e.At, e.Kind, true)
+		out = append(out, ev.Penalty)
+	}
+	return out, nil
+}
+
+// CutoffRange computes the half-open interval [low, high) of cut-off
+// thresholds that make the origin link's suppression onset fall exactly at
+// pulse `onset` of the given pulse train: the penalty must exceed the
+// cut-off during pulse `onset` but not during pulse `onset−1`. The peak
+// penalty grows with each pulse (for intervals short enough that the decay
+// between pulses does not dominate), so the range is well defined; an error
+// is returned when it is empty (e.g. slow flapping where the penalty
+// plateaus and no threshold can separate consecutive pulses).
+func CutoffRange(params damping.Params, interval time.Duration, onset int) (low, high float64, err error) {
+	if onset < 1 {
+		return 0, 0, fmt.Errorf("analytic: onset %d must be >= 1", onset)
+	}
+	// Peak penalty within each pulse i (events 2i and 2i+1).
+	peaks, err := OnsetPenalties(params, onset+1, interval)
+	if err != nil {
+		return 0, 0, err
+	}
+	peak := func(pulse int) float64 { // 1-based
+		a := peaks[2*(pulse-1)]
+		b := peaks[2*(pulse-1)+1]
+		return math.Max(a, b)
+	}
+	high = peak(onset)
+	low = 0
+	if onset > 1 {
+		low = peak(onset - 1)
+	}
+	// The cut-off must also stay above the reuse threshold to be a valid
+	// configuration.
+	if low < params.ReuseThreshold {
+		low = params.ReuseThreshold
+	}
+	if low >= high {
+		return 0, 0, fmt.Errorf("analytic: no cut-off places the onset at pulse %d (peaks %v >= %v)",
+			onset, low, high)
+	}
+	return low, high, nil
+}
+
+// TuneCutoff returns params with the cut-off threshold set to the midpoint
+// of CutoffRange, i.e. tuned so the origin link is suppressed exactly at
+// pulse `onset` for the given flapping interval.
+func TuneCutoff(params damping.Params, interval time.Duration, onset int) (damping.Params, error) {
+	low, high, err := CutoffRange(params, interval, onset)
+	if err != nil {
+		return damping.Params{}, err
+	}
+	params.CutoffThreshold = (low + high) / 2
+	if err := params.Validate(); err != nil {
+		return damping.Params{}, err
+	}
+	return params, nil
+}

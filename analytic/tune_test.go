@@ -1,0 +1,89 @@
+package analytic
+
+import (
+	"testing"
+	"time"
+
+	"rfd/damping"
+)
+
+func TestOnsetPenaltiesShape(t *testing.T) {
+	pen, err := OnsetPenalties(damping.Cisco(), 3, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pen) != 6 {
+		t.Fatalf("len = %d", len(pen))
+	}
+	// Withdrawal events jump, announcement events only decay (Cisco PA=0).
+	if pen[0] != 1000 {
+		t.Fatalf("pen[0] = %v", pen[0])
+	}
+	if pen[1] >= pen[0] {
+		t.Fatal("announcement did not decay the penalty")
+	}
+	if pen[2] <= pen[1] || pen[4] <= pen[3] {
+		t.Fatal("withdrawals did not increase the penalty")
+	}
+}
+
+func TestCutoffRangeDefaultOnset(t *testing.T) {
+	// With Cisco increments and 60 s interval, the default cut-off 2000
+	// yields onset 3 — so 2000 must fall inside CutoffRange(..., 3).
+	low, high, err := CutoffRange(damping.Cisco(), interval, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(low < 2000 && 2000 < high) {
+		t.Fatalf("default cutoff 2000 outside computed range [%v, %v)", low, high)
+	}
+}
+
+func TestTuneCutoffMovesOnset(t *testing.T) {
+	for _, onset := range []int{1, 2, 3, 4, 5} {
+		tuned, err := TuneCutoff(damping.Cisco(), interval, onset)
+		if err != nil {
+			t.Fatalf("onset %d: %v", onset, err)
+		}
+		got, err := SuppressionOnset(tuned, interval, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != onset {
+			t.Fatalf("tuned for onset %d, measured %d (cutoff %v)", onset, got, tuned.CutoffThreshold)
+		}
+	}
+}
+
+func TestCutoffRangeValidation(t *testing.T) {
+	if _, _, err := CutoffRange(damping.Cisco(), interval, 0); err == nil {
+		t.Fatal("onset 0 accepted")
+	}
+	bad := damping.Cisco()
+	bad.HalfLife = 0
+	if _, _, err := CutoffRange(bad, interval, 3); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestCutoffRangeImpossible(t *testing.T) {
+	// With an interval of many half-lives, consecutive pulse peaks are
+	// nearly identical (the penalty fully decays between pulses), so no
+	// cut-off can separate pulse 4 from pulse 5.
+	if _, _, err := CutoffRange(damping.Cisco(), 8*time.Hour, 5); err == nil {
+		t.Fatal("separable onset reported for fully-decaying flaps")
+	}
+}
+
+func TestTuneCutoffProducesValidParams(t *testing.T) {
+	tuned, err := TuneCutoff(damping.Cisco(), interval, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tuned.CutoffThreshold <= tuned.ReuseThreshold {
+		t.Fatal("tuned cutoff below reuse threshold")
+	}
+}

@@ -1,0 +1,363 @@
+// Package rfd_test benchmarks regenerate every table and figure of "Timer
+// Interaction in Route Flap Damping" (ICDCS 2005) at paper scale and report
+// the headline quantities as custom benchmark metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Metric conventions: conv_s = convergence time in virtual seconds,
+// msgs = update messages delivered, damped = peak suppressed (router, peer)
+// pairs. Wall-clock ns/op measures the simulator itself.
+package rfd_test
+
+import (
+	"testing"
+	"time"
+
+	"rfd/analytic"
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+)
+
+// paperOptions are the paper-scale settings (10×10 mesh, 100/208-node
+// Internet-derived graphs, pulses 0..10).
+func paperOptions() experiment.Options { return experiment.DefaultOptions() }
+
+// meshScenario builds the 100-node mesh scenario with the given config.
+func meshScenario(b *testing.B, cfg bgp.Config) experiment.Scenario {
+	b.Helper()
+	g, err := topology.Torus(10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiment.Scenario{Graph: g, ISP: 0, Config: cfg}
+}
+
+func ciscoConfig() bgp.Config {
+	cfg := bgp.DefaultConfig()
+	params := damping.Cisco()
+	cfg.Damping = &params
+	return cfg
+}
+
+// BenchmarkTable1Presets regenerates Table 1 (vendor default parameters).
+func BenchmarkTable1Presets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Table1()
+		if len(rows) != 7 {
+			b.Fatalf("Table 1 has %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig3PenaltyTrace regenerates the Figure 3 penalty example.
+func BenchmarkFig3PenaltyTrace(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		data, err := experiment.Fig3(paperOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(data.Trace)
+	}
+	b.ReportMetric(float64(pts), "trace_points")
+}
+
+// BenchmarkFig7SecondaryCharging regenerates Figure 7: the penalty trace at
+// a router 7 hops from a single-pulse origin, showing secondary charging.
+func BenchmarkFig7SecondaryCharging(b *testing.B) {
+	var data *experiment.Fig7Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiment.Fig7(paperOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(data.Result.ConvergenceTime.Seconds(), "conv_s")
+	b.ReportMetric(float64(data.Recharges), "recharges")
+}
+
+// benchSweep runs one scenario/pulse-count pair and reports its metrics.
+func benchSweep(b *testing.B, sc experiment.Scenario, pulses int) {
+	b.Helper()
+	sc.Pulses = pulses
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ConvergenceTime.Seconds(), "conv_s")
+	b.ReportMetric(float64(res.MessageCount), "msgs")
+	b.ReportMetric(float64(res.MaxDamped), "damped")
+}
+
+// BenchmarkFig8ConvergenceTime regenerates the Figure 8 curves point by
+// point: convergence time vs. pulses for no damping, full damping (mesh and
+// Internet-derived), with the calculation reported alongside.
+func BenchmarkFig8ConvergenceTime(b *testing.B) {
+	o := paperOptions()
+	inet, err := topology.InternetDerived(topology.DefaultInternetConfig(o.InternetNodes, o.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 5, 10} {
+		n := n
+		b.Run(benchName("no-damping-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, bgp.DefaultConfig()), n)
+		})
+		b.Run(benchName("full-damping-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, ciscoConfig()), n)
+		})
+		b.Run(benchName("full-damping-internet", n), func(b *testing.B) {
+			benchSweep(b, experiment.Scenario{
+				Graph: inet, ISP: topology.NodeID(o.InternetNodes / 2), Config: ciscoConfig(),
+			}, n)
+		})
+		b.Run(benchName("calculation", n), func(b *testing.B) {
+			var pred analytic.Prediction
+			for i := 0; i < b.N; i++ {
+				var err error
+				pred, err = analytic.PredictPulses(damping.Cisco(), n, o.FlapInterval, 2*time.Minute)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pred.Convergence.Seconds(), "conv_s")
+		})
+	}
+}
+
+// BenchmarkFig9MessageCount regenerates the Figure 9 message-count points
+// (same runs as Fig 8; reported separately to mirror the paper's figures).
+func BenchmarkFig9MessageCount(b *testing.B) {
+	for _, n := range []int{1, 5, 10} {
+		n := n
+		b.Run(benchName("no-damping-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, bgp.DefaultConfig()), n)
+		})
+		b.Run(benchName("full-damping-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, ciscoConfig()), n)
+		})
+	}
+}
+
+// BenchmarkFig10UpdateSeries regenerates the Figure 10 runs (n = 1, 3, 5)
+// with their update series and damped-link counts.
+func BenchmarkFig10UpdateSeries(b *testing.B) {
+	for _, n := range []int{1, 3, 5} {
+		n := n
+		b.Run(benchName("n", n), func(b *testing.B) {
+			var res *experiment.Result
+			sc := meshScenario(b, ciscoConfig())
+			sc.Pulses = n
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			bins := res.Updates.Bins(0, res.EndTime, 5*time.Second)
+			b.ReportMetric(res.ConvergenceTime.Seconds(), "conv_s")
+			b.ReportMetric(float64(len(bins)), "bins_5s")
+			b.ReportMetric(float64(res.MaxDamped), "damped")
+			b.ReportMetric(float64(res.NoisyReuses), "noisy_reuses")
+		})
+	}
+}
+
+// BenchmarkFig13RCNConvergence regenerates the Figure 13 RCN curve.
+func BenchmarkFig13RCNConvergence(b *testing.B) {
+	cfg := ciscoConfig()
+	cfg.EnableRCN = true
+	for _, n := range []int{1, 3, 5, 10} {
+		n := n
+		b.Run(benchName("damping-rcn-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, cfg), n)
+		})
+	}
+}
+
+// BenchmarkFig14RCNMessageCount regenerates the Figure 14 RCN message
+// counts.
+func BenchmarkFig14RCNMessageCount(b *testing.B) {
+	cfg := ciscoConfig()
+	cfg.EnableRCN = true
+	for _, n := range []int{1, 5, 10} {
+		n := n
+		b.Run(benchName("damping-rcn-mesh", n), func(b *testing.B) {
+			benchSweep(b, meshScenario(b, cfg), n)
+		})
+	}
+}
+
+// BenchmarkFig15PolicyImpact regenerates the Figure 15 policy comparison on
+// the 208-node Internet-derived topology.
+func BenchmarkFig15PolicyImpact(b *testing.B) {
+	o := paperOptions()
+	g, err := topology.InternetDerived(topology.DefaultInternetConfig(o.PolicyNodes, o.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	isp := topology.NodeID(o.PolicyNodes / 2)
+	for _, n := range []int{1, 3, 5} {
+		n := n
+		b.Run(benchName("with-policy", n), func(b *testing.B) {
+			cfg := ciscoConfig()
+			cfg.Policy = bgp.NoValley
+			benchSweep(b, experiment.Scenario{Graph: g, ISP: isp, Config: cfg}, n)
+		})
+		b.Run(benchName("no-policy", n), func(b *testing.B) {
+			benchSweep(b, experiment.Scenario{Graph: g, ISP: isp, Config: ciscoConfig()}, n)
+		})
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ------------
+
+// BenchmarkAblationMRAI varies the MRAI: it controls how much path
+// exploration a flap causes, and with it the degree of false suppression.
+func BenchmarkAblationMRAI(b *testing.B) {
+	for _, mrai := range []time.Duration{0, 15 * time.Second, 30 * time.Second} {
+		mrai := mrai
+		b.Run(mrai.String(), func(b *testing.B) {
+			cfg := ciscoConfig()
+			cfg.MRAI = mrai
+			benchSweep(b, meshScenario(b, cfg), 1)
+		})
+	}
+}
+
+// BenchmarkAblationVendorParams contrasts Cisco and Juniper damping
+// defaults: Juniper's announcement penalty reaches suppression sooner.
+func BenchmarkAblationVendorParams(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		params damping.Params
+	}{
+		{"cisco", damping.Cisco()},
+		{"juniper", damping.Juniper()},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			cfg := bgp.DefaultConfig()
+			params := v.params
+			cfg.Damping = &params
+			benchSweep(b, meshScenario(b, cfg), 2)
+		})
+	}
+}
+
+// BenchmarkAblationTopology varies alternate-path richness: more alternate
+// paths mean more exploration and more false suppression.
+func BenchmarkAblationTopology(b *testing.B) {
+	ring, err := topology.Ring(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inet, err := topology.InternetDerived(topology.DefaultInternetConfig(100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		sc   experiment.Scenario
+	}{
+		{"torus-10x10", meshScenario(b, ciscoConfig())},
+		{"ring-100", experiment.Scenario{Graph: ring, ISP: 0, Config: ciscoConfig()}},
+		{"internet-100", experiment.Scenario{Graph: inet, ISP: 50, Config: ciscoConfig()}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			benchSweep(b, tc.sc, 1)
+		})
+	}
+}
+
+// BenchmarkAblationDeployment sweeps partial damping deployment (the
+// companion tech report's scenario): false suppression scales with the
+// deployed fraction.
+func BenchmarkAblationDeployment(b *testing.B) {
+	for _, pct := range []int{25, 50, 100} {
+		pct := pct
+		b.Run(benchName("pct", pct), func(b *testing.B) {
+			var rows []experiment.DeploymentRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiment.PartialDeployment(paperOptions(), []int{pct}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].Conv.Seconds(), "conv_s")
+			b.ReportMetric(float64(rows[0].MaxDamped), "damped")
+		})
+	}
+}
+
+// BenchmarkAblationPenaltyFilters contrasts classic, selective (Mao et al.)
+// and RCN damping at one pulse.
+func BenchmarkAblationPenaltyFilters(b *testing.B) {
+	var rows []experiment.FilterRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.FilterComparison(paperOptions(), []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Classic.Seconds(), "classic_s")
+	b.ReportMetric(rows[0].Selective.Seconds(), "selective_s")
+	b.ReportMetric(rows[0].RCN.Seconds(), "rcn_s")
+}
+
+// BenchmarkLabovitzEvents measures the plain-BGP convergence baseline the
+// paper builds on: Tup / Tdown / Tlong / Tshort.
+func BenchmarkLabovitzEvents(b *testing.B) {
+	var rows []experiment.EventMeasurement
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.ConvergenceEvents(paperOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Convergence.Seconds(), r.Event+"_s")
+	}
+}
+
+// BenchmarkEngineEventThroughput measures raw simulator speed: events/s on
+// an undamped single-pulse mesh run.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	sc := meshScenario(b, bgp.DefaultConfig())
+	sc.Pulses = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "/pulses=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,153 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/damping"
+)
+
+// Policy selects the import-preference / export-filter pair routers apply.
+type Policy int
+
+const (
+	// ShortestPath prefers shorter AS paths and exports the best route to
+	// every peer (modulo loop filtering). This is the paper's default
+	// policy for Sections 4–6.
+	ShortestPath Policy = iota + 1
+	// NoValley implements the customer/peer/provider policy of Section 7:
+	// routes learned from customers are preferred over routes learned from
+	// peers over routes learned from providers, and a route is exported to a
+	// peer or provider only if it was learned from a customer (or originated
+	// locally). Requires a relationship-annotated topology.
+	NoValley
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ShortestPath:
+		return "shortest-path"
+	case NoValley:
+		return "no-valley"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config assembles the per-network protocol parameters. The zero value is
+// not valid; start from DefaultConfig.
+type Config struct {
+	// Policy selects route preference and export filtering.
+	Policy Policy
+
+	// Damping, when non-nil, enables route flap damping with the given
+	// parameters at every router. Nil disables damping network-wide.
+	Damping *damping.Params
+
+	// DampingSelect, when non-nil, overrides Damping per router: it is
+	// called once per router at network construction and returns that
+	// router's parameters, or nil to disable damping there. This models the
+	// paper's partial-deployment and inconsistent-parameter discussions
+	// (RFC 3221 notes both are the deployed reality; Section 6 shows
+	// parameter diversity alone causes secondary charging). The function
+	// must be pure — it is part of the deterministic run identity.
+	DampingSelect func(RouterID) *damping.Params
+
+	// EnableRCN attaches root causes to updates and charges the damping
+	// penalty only once per (peer, root cause), per Section 6. It has no
+	// effect at routers without damping.
+	EnableRCN bool
+
+	// SelectiveDamping enables the "selective route flap damping" baseline
+	// of Mao et al. (SIGCOMM 2002), the paper's Section 6 comparator: every
+	// announcement carries the sender's route-preference value (here: AS
+	// path length, lower is better), and the receiver skips the penalty
+	// increment for announcements it judges to be path exploration — ones
+	// whose preference is strictly worse than the previously announced one.
+	// The paper's point, which the experiments reproduce, is that this
+	// heuristic misses some exploration updates and does not address
+	// secondary charging. Mutually exclusive with EnableRCN.
+	SelectiveDamping bool
+
+	// RCNHistorySize bounds the per-peer root-cause history
+	// (rcn.DefaultHistorySize when 0).
+	RCNHistorySize int
+
+	// MRAI is the Minimum Route Advertisement Interval applied per (peer,
+	// prefix) to announcements (withdrawals are never delayed, matching the
+	// BGP-4 default and SSFNet). Zero disables rate limiting.
+	MRAI time.Duration
+
+	// MRAIJitter applies the standard 0.75–1.00 jitter factor to each MRAI
+	// timer, which is what desynchronizes path exploration across routers.
+	MRAIJitter bool
+
+	// MinLinkDelay and MaxLinkDelay bound the per-link propagation delay,
+	// drawn once per link when the network is built.
+	MinLinkDelay, MaxLinkDelay time.Duration
+
+	// MinProcDelay and MaxProcDelay bound the per-update processing delay a
+	// router adds before its reaction to an update leaves the router.
+	MinProcDelay, MaxProcDelay time.Duration
+
+	// Seed drives link delays, jitter, and all other randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// simulations (Section 5.1): shortest-path policy, 30 s jittered MRAI, SSFNet
+// style link and processing delays, no damping. Experiments switch damping
+// and RCN on per run.
+func DefaultConfig() Config {
+	return Config{
+		Policy:       ShortestPath,
+		MRAI:         30 * time.Second,
+		MRAIJitter:   true,
+		MinLinkDelay: 10 * time.Millisecond,
+		MaxLinkDelay: 110 * time.Millisecond,
+		MinProcDelay: 1 * time.Millisecond,
+		MaxProcDelay: 10 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Policy != ShortestPath && c.Policy != NoValley:
+		return fmt.Errorf("bgp: unknown policy %v", c.Policy)
+	case c.MRAI < 0:
+		return fmt.Errorf("bgp: negative MRAI %v", c.MRAI)
+	case c.MinLinkDelay < 0 || c.MaxLinkDelay < c.MinLinkDelay:
+		return fmt.Errorf("bgp: invalid link delay range [%v, %v]", c.MinLinkDelay, c.MaxLinkDelay)
+	case c.MinProcDelay < 0 || c.MaxProcDelay < c.MinProcDelay:
+		return fmt.Errorf("bgp: invalid processing delay range [%v, %v]", c.MinProcDelay, c.MaxProcDelay)
+	case c.RCNHistorySize < 0:
+		return fmt.Errorf("bgp: negative RCN history size %d", c.RCNHistorySize)
+	}
+	if c.Damping != nil {
+		if err := c.Damping.Validate(); err != nil {
+			return fmt.Errorf("bgp: %w", err)
+		}
+	}
+	if c.EnableRCN && c.Damping == nil && c.DampingSelect == nil {
+		return fmt.Errorf("bgp: EnableRCN requires damping parameters")
+	}
+	if c.SelectiveDamping && c.Damping == nil && c.DampingSelect == nil {
+		return fmt.Errorf("bgp: SelectiveDamping requires damping parameters")
+	}
+	if c.EnableRCN && c.SelectiveDamping {
+		return fmt.Errorf("bgp: EnableRCN and SelectiveDamping are mutually exclusive")
+	}
+	return nil
+}
+
+// dampingFor resolves the damping parameters for one router (nil disables).
+// DampingSelect results are validated at network construction.
+func (c Config) dampingFor(id RouterID) *damping.Params {
+	if c.DampingSelect != nil {
+		return c.DampingSelect(id)
+	}
+	return c.Damping
+}

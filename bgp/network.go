@@ -1,0 +1,301 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rfd/internal/xrand"
+	"rfd/sim"
+	"rfd/topology"
+)
+
+// Hooks are optional observation points the metrics layer subscribes to.
+// Nil fields are simply not called. Hooks must not mutate the network.
+type Hooks struct {
+	// OnDeliver fires when an update message is delivered to its receiver,
+	// before the receiver processes it.
+	OnDeliver func(at time.Duration, msg Message)
+	// OnSuppress fires when a (router, peer, prefix) damping state flips
+	// suppression on (suppressed=true) or off (false).
+	OnSuppress func(at time.Duration, router, peer RouterID, prefix Prefix, suppressed bool)
+	// OnReuse fires when a reuse timer successfully lifts suppression.
+	// noisy reports whether the reuse changed the router's best path (and
+	// therefore triggered updates) — the paper's noisy/silent distinction.
+	OnReuse func(at time.Duration, router, peer RouterID, prefix Prefix, noisy bool)
+	// OnPenalty fires after every damping penalty update with the new value.
+	OnPenalty func(at time.Duration, router, peer RouterID, prefix Prefix, penalty float64)
+}
+
+// direction keys one directed link endpoint pair.
+type direction struct {
+	from, to RouterID
+}
+
+// Network wires routers built from a topology onto a simulation kernel.
+type Network struct {
+	kernel  *sim.Kernel
+	graph   *topology.Graph
+	cfg     Config
+	routers []*Router
+
+	linkDelay map[direction]time.Duration
+	// lastArrival enforces per-direction FIFO delivery: a message never
+	// overtakes an earlier one on the same directed link.
+	lastArrival map[direction]time.Duration
+	// downLinks marks failed links (keyed with from < to). Messages sent or
+	// in flight on a failed link are lost, as with a broken TCP session.
+	downLinks map[direction]bool
+
+	hooks Hooks
+
+	// delivered counts update messages delivered since the last ResetCounters.
+	delivered uint64
+	// lastDelivery is the virtual time of the most recent delivery.
+	lastDelivery time.Duration
+}
+
+// NewNetwork builds one router per topology node and connects them along the
+// topology's edges. Link propagation delays are drawn deterministically from
+// cfg.Seed.
+func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == NoValley && !g.Annotated() {
+		return nil, fmt.Errorf("bgp: no-valley policy requires a relationship-annotated topology")
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("bgp: empty topology")
+	}
+	if cfg.DampingSelect != nil {
+		for id := 0; id < g.NumNodes(); id++ {
+			if p := cfg.DampingSelect(RouterID(id)); p != nil {
+				if err := p.Validate(); err != nil {
+					return nil, fmt.Errorf("bgp: router %d damping: %w", id, err)
+				}
+			}
+		}
+	}
+	n := &Network{
+		kernel:      k,
+		graph:       g,
+		cfg:         cfg,
+		linkDelay:   make(map[direction]time.Duration, 2*g.NumEdges()),
+		lastArrival: make(map[direction]time.Duration, 2*g.NumEdges()),
+		downLinks:   make(map[direction]bool),
+	}
+	rng := xrand.New(cfg.Seed)
+	for _, e := range g.Edges() {
+		// One symmetric delay per link, drawn in deterministic edge order.
+		d := cfg.MinLinkDelay
+		if span := cfg.MaxLinkDelay - cfg.MinLinkDelay; span > 0 {
+			d += time.Duration(rng.Intn(int(span)))
+		}
+		n.linkDelay[direction{e.A, e.B}] = d
+		n.linkDelay[direction{e.B, e.A}] = d
+	}
+	n.routers = make([]*Router, g.NumNodes())
+	for id := 0; id < g.NumNodes(); id++ {
+		n.routers[id] = newRouter(n, RouterID(id), rng.Split())
+	}
+	return n, nil
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// NumRouters returns the number of routers.
+func (n *Network) NumRouters() int { return len(n.routers) }
+
+// Router returns the router with the given ID, or nil if out of range.
+func (n *Network) Router(id RouterID) *Router {
+	if id < 0 || int(id) >= len(n.routers) {
+		return nil
+	}
+	return n.routers[id]
+}
+
+// SetHooks installs observation hooks (replacing any previous ones).
+func (n *Network) SetHooks(h Hooks) { n.hooks = h }
+
+// Delivered returns the number of update messages delivered since the last
+// ResetCounters call.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// LastDelivery returns the virtual time of the most recent message delivery.
+func (n *Network) LastDelivery() time.Duration { return n.lastDelivery }
+
+// ResetCounters zeroes the delivered-message counter and last-delivery time.
+// Experiments call it after warm-up so metrics cover only the flap phase.
+func (n *Network) ResetCounters() {
+	n.delivered = 0
+	n.lastDelivery = 0
+}
+
+// ResetDamping clears every router's damping state and RCN history. The
+// paper's methodology lets the network learn stable routes first and then
+// studies flaps against clean damping state; experiments call this at the
+// end of warm-up.
+func (n *Network) ResetDamping() {
+	for _, r := range n.routers {
+		r.resetDamping()
+	}
+}
+
+// DampedLinkCount returns the number of (router, peer, prefix) damping states
+// currently suppressed — the paper's "damped link count" (each link can be
+// suppressed independently by either end, so the ceiling is twice the number
+// of links per prefix; footnote 2).
+func (n *Network) DampedLinkCount() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.suppressedCount()
+	}
+	return total
+}
+
+// linkKey normalizes a link to its canonical (low, high) direction.
+func linkKey(a, b RouterID) direction {
+	if a > b {
+		a, b = b, a
+	}
+	return direction{a, b}
+}
+
+// LinkUp reports whether the link between a and b is currently up (false
+// also for nonexistent links).
+func (n *Network) LinkUp(a, b RouterID) bool {
+	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+		return false
+	}
+	return !n.downLinks[linkKey(a, b)]
+}
+
+// SetLinkState fails (up=false) or restores (up=true) the link between a
+// and b, modelling the paper's flapping [originAS, ispAS] link directly:
+//
+//   - On failure, messages in flight on the link are lost, both endpoints
+//     treat every route learned over it as withdrawn (charging damping as a
+//     withdrawal — a session flap is a route flap from the neighbor's
+//     perspective), and each endpoint stamps the resulting updates with a
+//     fresh LinkDown root cause when RCN is enabled.
+//   - On recovery, both endpoints re-advertise their current best routes
+//     over the link per the export policy, stamped with a LinkUp cause.
+//
+// Setting the current state again is a no-op. Unknown links return an error.
+func (n *Network) SetLinkState(a, b RouterID, up bool) error {
+	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+		return fmt.Errorf("bgp: no link %d-%d", a, b)
+	}
+	key := linkKey(a, b)
+	if n.downLinks[key] == !up {
+		return nil
+	}
+	if up {
+		delete(n.downLinks, key)
+		n.routers[a].peerUp(b)
+		n.routers[b].peerUp(a)
+	} else {
+		n.downLinks[key] = true
+		n.routers[a].peerDown(b)
+		n.routers[b].peerDown(a)
+	}
+	return nil
+}
+
+// send schedules delivery of msg across the directed link (msg.From,
+// msg.To). The message leaves after the sender's processing delay and
+// arrives after the link's propagation delay; FIFO order per direction is
+// enforced so updates never overtake each other within a session. Messages
+// sent on a failed link are lost.
+func (n *Network) send(msg Message) {
+	dir := direction{msg.From, msg.To}
+	delay, ok := n.linkDelay[dir]
+	if !ok {
+		panic(fmt.Sprintf("bgp: send on nonexistent link %d->%d", msg.From, msg.To))
+	}
+	if n.downLinks[linkKey(msg.From, msg.To)] {
+		return
+	}
+	sender := n.routers[msg.From]
+	at := n.kernel.Now() + sender.procDelay() + delay
+	if last := n.lastArrival[dir]; at <= last {
+		at = last + time.Nanosecond
+	}
+	n.lastArrival[dir] = at
+	n.kernel.At(at, "bgp.deliver", func() { n.deliver(msg) })
+}
+
+// deliver counts the message, notifies hooks, and hands it to the receiver.
+// Messages whose link failed while they were in flight are lost.
+func (n *Network) deliver(msg Message) {
+	if n.downLinks[linkKey(msg.From, msg.To)] {
+		return
+	}
+	n.delivered++
+	n.lastDelivery = n.kernel.Now()
+	if n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.kernel.Now(), msg)
+	}
+	n.routers[msg.To].receive(msg)
+}
+
+// CheckConsistency verifies steady-state invariants and returns the first
+// violation found. It is meaningful only when the kernel's queue holds no
+// pending deliveries (i.e. the network is quiescent):
+//
+//   - what every router believes it advertised (RIB-OUT) equals what the
+//     peer holds in its RIB-IN for that session;
+//   - every Local-RIB entry equals the decision process re-run over the
+//     current RIB-INs.
+func (n *Network) CheckConsistency() error {
+	for _, r := range n.routers {
+		for _, q := range r.peers {
+			if n.downLinks[linkKey(r.id, q)] {
+				// No session: the peers legitimately disagree until the
+				// link recovers.
+				continue
+			}
+			peer := n.routers[q]
+			for _, prefix := range r.ribOutPrefixes(q) {
+				sent := r.advertised(q, prefix)
+				held := peer.ribInPath(r.id, prefix)
+				if !sent.Equal(held) {
+					return fmt.Errorf(
+						"bgp: session %d->%d prefix %s: RIB-OUT [%s] != peer RIB-IN [%s]",
+						r.id, q, prefix, sent, held)
+				}
+			}
+		}
+		for _, prefix := range r.localPrefixes() {
+			if err := r.checkLocalRIB(prefix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Prefixes returns the sorted set of prefixes any router currently holds
+// state for.
+func (n *Network) Prefixes() []Prefix {
+	set := make(map[Prefix]struct{})
+	for _, r := range n.routers {
+		for _, p := range r.localPrefixes() {
+			set[p] = struct{}{}
+		}
+	}
+	out := make([]Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,614 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rfd/damping"
+	"rfd/internal/xrand"
+	"rfd/rcn"
+	"rfd/sim"
+	"rfd/topology"
+)
+
+// selfPeer marks a Local-RIB entry whose route is originated locally.
+const selfPeer = RouterID(-1)
+
+// ribInEntry is the adj-RIB-in state for one (peer, prefix): the last route
+// received (nil when withdrawn), the flap history damping needs, the damping
+// state itself, and the pending reuse timer.
+type ribInEntry struct {
+	path        Path
+	everPresent bool
+	cause       rcn.Cause
+	damp        *damping.State
+	reuseTimer  *sim.Timer
+}
+
+// ribOutEntry is the adj-RIB-out state for one (peer, prefix): what has been
+// advertised, the MRAI timer, and the announcement waiting for it.
+type ribOutEntry struct {
+	advertised   Path
+	mrai         *sim.Timer
+	pending      bool
+	pendingPath  Path
+	pendingCause rcn.Cause
+}
+
+// localEntry is the Local-RIB entry for one prefix.
+type localEntry struct {
+	hasRoute bool
+	bestPeer RouterID // selfPeer when originated locally
+	bestPath Path     // the RIB-IN path of bestPeer (nil when self-originated)
+}
+
+func (l localEntry) equal(o localEntry) bool {
+	return l.hasRoute == o.hasRoute && l.bestPeer == o.bestPeer && l.bestPath.Equal(o.bestPath)
+}
+
+// Router is one BGP speaker. Routers are created by NewNetwork — one per
+// topology node — and driven entirely by simulation events.
+type Router struct {
+	id    RouterID
+	net   *Network
+	rng   *xrand.Rand
+	peers []RouterID // sorted ascending; fixed at construction
+	// damp holds this router's damping parameters (nil = damping disabled
+	// here), resolved once at construction from Config.Damping /
+	// Config.DampingSelect.
+	damp *damping.Params
+
+	ribIn      map[RouterID]map[Prefix]*ribInEntry
+	ribOut     map[RouterID]map[Prefix]*ribOutEntry
+	local      map[Prefix]localEntry
+	originated map[Prefix]bool
+	history    map[RouterID]*rcn.History   // per-peer root-cause history (RCN)
+	sequencers map[Prefix]*rcn.Sequencer   // origination root causes
+	linkSeq    map[RouterID]*rcn.Sequencer // link status-change root causes
+}
+
+func newRouter(n *Network, id RouterID, rng *xrand.Rand) *Router {
+	neighbors := n.graph.Neighbors(id)
+	peers := make([]RouterID, len(neighbors))
+	copy(peers, neighbors)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	r := &Router{
+		id:         id,
+		net:        n,
+		rng:        rng,
+		peers:      peers,
+		damp:       n.cfg.dampingFor(id),
+		ribIn:      make(map[RouterID]map[Prefix]*ribInEntry, len(peers)),
+		ribOut:     make(map[RouterID]map[Prefix]*ribOutEntry, len(peers)),
+		local:      make(map[Prefix]localEntry),
+		originated: make(map[Prefix]bool),
+		history:    make(map[RouterID]*rcn.History, len(peers)),
+		sequencers: make(map[Prefix]*rcn.Sequencer),
+		linkSeq:    make(map[RouterID]*rcn.Sequencer, len(peers)),
+	}
+	for _, p := range peers {
+		r.ribIn[p] = make(map[Prefix]*ribInEntry)
+		r.ribOut[p] = make(map[Prefix]*ribOutEntry)
+		r.history[p] = rcn.NewHistory(n.cfg.RCNHistorySize)
+	}
+	return r
+}
+
+// ID returns the router's identifier.
+func (r *Router) ID() RouterID { return r.id }
+
+// Peers returns the router's neighbors in ascending order. The slice is
+// shared and must not be modified.
+func (r *Router) Peers() []RouterID { return r.peers }
+
+// Originate starts advertising prefix from this router. It is the
+// experiment-facing knob that models the originAS side of the flapping link
+// coming up: the update it triggers carries a fresh LinkUp root cause when
+// RCN is enabled. Originating an already-originated prefix is a no-op.
+func (r *Router) Originate(prefix Prefix) {
+	if r.originated[prefix] {
+		return
+	}
+	r.originated[prefix] = true
+	r.reconcile(prefix, r.originationCause(prefix, rcn.LinkUp))
+}
+
+// StopOriginating withdraws a locally originated prefix, modelling the
+// flapping link going down. A no-op when not originating.
+func (r *Router) StopOriginating(prefix Prefix) {
+	if !r.originated[prefix] {
+		return
+	}
+	r.originated[prefix] = false
+	r.reconcile(prefix, r.originationCause(prefix, rcn.LinkDown))
+}
+
+// Originates reports whether the router currently originates prefix.
+func (r *Router) Originates(prefix Prefix) bool { return r.originated[prefix] }
+
+// originationCause stamps an origination change with a root cause when RCN
+// is on. The "link" of the cause is the router's (conceptual) uplink to the
+// origin, identified by the router itself on both ends.
+func (r *Router) originationCause(prefix Prefix, status rcn.Status) rcn.Cause {
+	if !r.net.cfg.EnableRCN {
+		return rcn.Cause{}
+	}
+	seq := r.sequencers[prefix]
+	if seq == nil {
+		seq = &rcn.Sequencer{}
+		r.sequencers[prefix] = seq
+	}
+	return seq.Next(int(r.id), int(r.id), status)
+}
+
+// LocalRoute returns the router's current best path for prefix (nil for a
+// self-originated route) and whether any route is installed.
+func (r *Router) LocalRoute(prefix Prefix) (Path, bool) {
+	l := r.local[prefix]
+	return l.bestPath.Clone(), l.hasRoute
+}
+
+// BestPeer returns the peer the current best route was learned from
+// (selfPeer == -1 for self-originated) and whether a route is installed.
+func (r *Router) BestPeer(prefix Prefix) (RouterID, bool) {
+	l := r.local[prefix]
+	return l.bestPeer, l.hasRoute
+}
+
+// Penalty returns the damping penalty for (peer, prefix) at virtual time
+// now; zero when damping is disabled or no state exists.
+func (r *Router) Penalty(peer RouterID, prefix Prefix, now time.Duration) float64 {
+	if e := r.ribIn[peer][prefix]; e != nil && e.damp != nil {
+		return e.damp.Penalty(now)
+	}
+	return 0
+}
+
+// Suppressed reports whether the route from peer for prefix is suppressed.
+func (r *Router) Suppressed(peer RouterID, prefix Prefix) bool {
+	e := r.ribIn[peer][prefix]
+	return e != nil && e.damp != nil && e.damp.Suppressed()
+}
+
+// ribInPath returns the stored RIB-IN path for (peer, prefix), nil if none.
+func (r *Router) ribInPath(peer RouterID, prefix Prefix) Path {
+	if e := r.ribIn[peer][prefix]; e != nil {
+		return e.path
+	}
+	return nil
+}
+
+// advertised returns what the router has advertised to peer for prefix.
+func (r *Router) advertised(peer RouterID, prefix Prefix) Path {
+	if o := r.ribOut[peer][prefix]; o != nil {
+		return o.advertised
+	}
+	return nil
+}
+
+// entry returns (creating if needed) the RIB-IN entry for (peer, prefix).
+func (r *Router) entry(peer RouterID, prefix Prefix) *ribInEntry {
+	m, ok := r.ribIn[peer]
+	if !ok {
+		panic(fmt.Sprintf("bgp: router %d has no session with %d", r.id, peer))
+	}
+	e := m[prefix]
+	if e == nil {
+		e = &ribInEntry{}
+		if r.damp != nil {
+			e.damp = damping.NewState(*r.damp)
+		}
+		m[prefix] = e
+	}
+	return e
+}
+
+// outEntry returns (creating if needed) the RIB-OUT entry for (peer, prefix).
+func (r *Router) outEntry(peer RouterID, prefix Prefix) *ribOutEntry {
+	m := r.ribOut[peer]
+	o := m[prefix]
+	if o == nil {
+		o = &ribOutEntry{}
+		m[prefix] = o
+	}
+	return o
+}
+
+// procDelay draws the router's per-update processing delay.
+func (r *Router) procDelay() time.Duration {
+	cfg := r.net.cfg
+	d := cfg.MinProcDelay
+	if span := cfg.MaxProcDelay - cfg.MinProcDelay; span > 0 {
+		d += time.Duration(r.rng.Intn(int(span)))
+	}
+	return d
+}
+
+// receive processes one delivered update: damping charge, RIB-IN update,
+// decision process, export.
+func (r *Router) receive(msg Message) {
+	if !msg.Withdraw && msg.Path.Contains(r.id) {
+		// Sender-side loop filtering makes this unreachable in this engine,
+		// but a real peer could send such a route; BGP discards it.
+		return
+	}
+	r.applyUpdate(msg.From, msg.Prefix, msg.Withdraw, msg.Path, msg.Cause)
+	r.reconcile(msg.Prefix, msg.Cause)
+}
+
+// applyUpdate folds one update (received from the peer, or synthesized by a
+// session failure) into the RIB-IN entry and its damping state.
+func (r *Router) applyUpdate(from RouterID, prefix Prefix, withdraw bool, path Path, cause rcn.Cause) {
+	now := r.net.kernel.Now()
+	e := r.entry(from, prefix)
+
+	present := e.path != nil
+	attrsDiffer := !withdraw && !path.Equal(e.path)
+	kind := damping.Classify(withdraw, present, e.everPresent, attrsDiffer)
+
+	if e.damp != nil {
+		charge := true
+		chargeKind := kind
+		if r.net.cfg.SelectiveDamping && !withdraw && present && len(path) > len(e.path) {
+			// Selective damping (Mao et al.): an announcement whose route is
+			// worse than the peer's previous one is judged to be path
+			// exploration and does not charge the penalty. The heuristic is
+			// deliberately imperfect — withdrawals, equal-length reroutes
+			// and the eventual best-path re-announcements still charge, and
+			// route-reuse updates are indistinguishable from fresh flaps —
+			// which is exactly the gap the paper's Section 6 points out.
+			charge = false
+		}
+		if r.net.cfg.EnableRCN {
+			charge = r.history[from].Witness(cause)
+			if charge && !cause.IsZero() {
+				// RCN-enhanced damping penalizes the *flap itself*, not the
+				// perceived result of the flap (Section 7): a link-down root
+				// cause charges the withdrawal penalty and a link-up cause
+				// the re-announcement penalty, regardless of how the update
+				// happens to be classified locally (an exploration update
+				// may surface as an attribute change). This makes every
+				// router's penalty mirror the origin-adjacent router's, so
+				// suppression follows the intended single-router behaviour.
+				if cause.Status == rcn.LinkDown {
+					chargeKind = damping.KindWithdrawal
+				} else {
+					chargeKind = damping.KindReannouncement
+				}
+			}
+		}
+		ev := e.damp.Update(now, chargeKind, charge)
+		if h := r.net.hooks.OnPenalty; h != nil && ev.Increment != 0 {
+			h(now, r.id, from, prefix, ev.Penalty)
+		}
+		if ev.BecameSuppressed {
+			if h := r.net.hooks.OnSuppress; h != nil {
+				h(now, r.id, from, prefix, true)
+			}
+		}
+		if ev.Suppressed && ev.ReuseIn > 0 {
+			// (Re-)arm the reuse timer for the latest penalty value; charges
+			// while suppressed push the reuse instant later (the timer
+			// interaction at the heart of the paper).
+			r.armReuse(e, from, prefix, now+ev.ReuseIn)
+		}
+	}
+
+	if withdraw {
+		e.path = nil
+	} else {
+		e.path = path.Clone()
+		e.everPresent = true
+	}
+	e.cause = cause
+}
+
+// linkCause stamps a session status change with a root cause when RCN is on
+// (the detecting node names the link, as in Section 6.1).
+func (r *Router) linkCause(peer RouterID, status rcn.Status) rcn.Cause {
+	if !r.net.cfg.EnableRCN {
+		return rcn.Cause{}
+	}
+	seq := r.linkSeq[peer]
+	if seq == nil {
+		seq = &rcn.Sequencer{}
+		r.linkSeq[peer] = seq
+	}
+	return seq.Next(int(r.id), int(peer), status)
+}
+
+// peerDown handles the local side of a failed link: the session's RIB-OUT
+// state is discarded and every route learned from the peer is withdrawn
+// (charging damping — a session flap is a route flap from this router's
+// point of view).
+func (r *Router) peerDown(peer RouterID) {
+	cause := r.linkCause(peer, rcn.LinkDown)
+	for _, prefix := range r.ribOutPrefixes(peer) {
+		out := r.ribOut[peer][prefix]
+		out.advertised = nil
+		out.pending = false
+		out.mrai.Cancel()
+	}
+	for _, prefix := range r.ribInPrefixes(peer) {
+		r.applyUpdate(peer, prefix, true, nil, cause)
+		r.reconcile(prefix, cause)
+	}
+}
+
+// peerUp handles the local side of a restored link: a fresh session starts
+// with an empty adj-RIB-out, so the router re-advertises its current best
+// routes per the export policy. Routes from the peer arrive as the peer does
+// the same.
+func (r *Router) peerUp(peer RouterID) {
+	cause := r.linkCause(peer, rcn.LinkUp)
+	for _, prefix := range r.localPrefixes() {
+		r.syncPeer(peer, prefix, cause)
+	}
+}
+
+// ribInPrefixes returns the sorted prefixes with RIB-IN state from peer.
+func (r *Router) ribInPrefixes(peer RouterID) []Prefix {
+	m := r.ribIn[peer]
+	out := make([]Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// armReuse replaces the entry's reuse timer with one firing at the given
+// virtual instant.
+func (r *Router) armReuse(e *ribInEntry, peer RouterID, prefix Prefix, at time.Duration) {
+	e.reuseTimer.Cancel()
+	e.reuseTimer = r.net.kernel.At(at, "bgp.reuse", func() {
+		r.reuseExpired(peer, prefix)
+	})
+}
+
+// reuseExpired handles a reuse-timer firing: lift suppression if the penalty
+// has decayed enough, then re-run the decision process. Whether that changes
+// the Local-RIB is the paper's noisy/silent distinction (Section 4.2).
+func (r *Router) reuseExpired(peer RouterID, prefix Prefix) {
+	e := r.ribIn[peer][prefix]
+	if e == nil || e.damp == nil || !e.damp.Suppressed() {
+		return
+	}
+	now := r.net.kernel.Now()
+	if !e.damp.TryReuse(now) {
+		// The penalty was re-charged after this timer was armed (and the
+		// rearm raced with delivery); try again at the new reuse instant.
+		r.armReuse(e, peer, prefix, now+e.damp.ReuseIn(now))
+		return
+	}
+	if h := r.net.hooks.OnSuppress; h != nil {
+		h(now, r.id, peer, prefix, false)
+	}
+	noisy := r.reconcile(prefix, e.cause)
+	if h := r.net.hooks.OnReuse; h != nil {
+		h(now, r.id, peer, prefix, noisy)
+	}
+}
+
+// prefClass ranks where a route was learned under the active policy; larger
+// is preferred. Under shortest-path policy all peers rank equally.
+func (r *Router) prefClass(peer RouterID) int {
+	if r.net.cfg.Policy != NoValley {
+		return 2
+	}
+	switch r.net.graph.Relationship(r.id, peer) {
+	case topology.RelCustomer:
+		return 3
+	case topology.RelProvider:
+		return 1
+	default: // peers and unannotated links
+		return 2
+	}
+}
+
+// decide runs the BGP decision process for prefix over the usable RIB-IN
+// entries: policy preference, then shortest AS path, then lowest peer ID.
+// Suppressed entries are excluded (the damping rule: a suppressed route does
+// not enter the Local-RIB).
+func (r *Router) decide(prefix Prefix) localEntry {
+	if r.originated[prefix] {
+		return localEntry{hasRoute: true, bestPeer: selfPeer}
+	}
+	var best localEntry
+	bestClass := 0
+	for _, p := range r.peers {
+		e := r.ribIn[p][prefix]
+		if e == nil || e.path == nil {
+			continue
+		}
+		if e.damp != nil && e.damp.Suppressed() {
+			continue
+		}
+		class := r.prefClass(p)
+		better := false
+		switch {
+		case !best.hasRoute:
+			better = true
+		case class != bestClass:
+			better = class > bestClass
+		case len(e.path) != len(best.bestPath):
+			better = len(e.path) < len(best.bestPath)
+		default:
+			better = p < best.bestPeer
+		}
+		if better {
+			best = localEntry{hasRoute: true, bestPeer: p, bestPath: e.path}
+			bestClass = class
+		}
+	}
+	return best
+}
+
+// reconcile re-runs the decision process and, if the Local-RIB changed,
+// synchronizes every RIB-OUT (sending or scheduling updates stamped with the
+// triggering root cause). It reports whether the Local-RIB changed.
+func (r *Router) reconcile(prefix Prefix, trigger rcn.Cause) bool {
+	old := r.local[prefix]
+	best := r.decide(prefix)
+	if best.equal(old) {
+		return false
+	}
+	r.local[prefix] = best
+	for _, q := range r.peers {
+		r.syncPeer(q, prefix, trigger)
+	}
+	return true
+}
+
+// exportPath computes what (if anything) the router should advertise to peer
+// q for prefix under the active policy: the best path with the router
+// prepended, or nil when filtered.
+func (r *Router) exportPath(q RouterID, prefix Prefix) Path {
+	l := r.local[prefix]
+	if !l.hasRoute {
+		return nil
+	}
+	if r.net.cfg.Policy == NoValley && l.bestPeer != selfPeer {
+		// A route learned from a peer or a provider is exported only to
+		// customers (no-valley: never provide transit between two
+		// non-customers).
+		if r.net.graph.Relationship(r.id, l.bestPeer) != topology.RelCustomer &&
+			r.net.graph.Relationship(r.id, q) != topology.RelCustomer {
+			return nil
+		}
+	}
+	adv := l.bestPath.Prepend(r.id)
+	if adv.Contains(q) {
+		// Sender-side loop filter; also covers "don't echo a route back to
+		// the peer it was learned from".
+		return nil
+	}
+	return adv
+}
+
+// syncPeer brings the RIB-OUT for (q, prefix) in line with the current
+// export decision. Withdrawals leave immediately; announcements respect the
+// MRAI timer (pending until it fires).
+func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
+	out := r.outEntry(q, prefix)
+	desired := r.exportPath(q, prefix)
+	switch {
+	case desired == nil && out.advertised == nil:
+		// Nothing advertised, nothing to advertise; drop any pending update.
+		out.pending = false
+	case desired == nil:
+		// Withdrawals are not rate limited.
+		out.advertised = nil
+		out.pending = false
+		r.net.send(Message{From: r.id, To: q, Prefix: prefix, Withdraw: true, Cause: trigger})
+	case desired.Equal(out.advertised):
+		out.pending = false
+	default:
+		if r.net.cfg.MRAI > 0 && out.mrai.Active() {
+			out.pending = true
+			out.pendingPath = desired
+			out.pendingCause = trigger
+		} else {
+			r.sendAnnouncement(q, prefix, out, desired, trigger)
+		}
+	}
+}
+
+// sendAnnouncement transmits an announcement and starts the MRAI timer.
+func (r *Router) sendAnnouncement(q RouterID, prefix Prefix, out *ribOutEntry, path Path, cause rcn.Cause) {
+	out.advertised = path
+	out.pending = false
+	r.net.send(Message{From: r.id, To: q, Prefix: prefix, Path: path.Clone(), Cause: cause})
+	mrai := r.net.cfg.MRAI
+	if mrai <= 0 {
+		return
+	}
+	if r.net.cfg.MRAIJitter {
+		// RFC 4271 §9.2.1.1 jitter: multiply by a uniform factor in
+		// [0.75, 1.0).
+		mrai = time.Duration(float64(mrai) * (0.75 + 0.25*r.rng.Float64()))
+	}
+	out.mrai = r.net.kernel.After(mrai, "bgp.mrai", func() {
+		r.mraiExpired(q, prefix)
+	})
+}
+
+// mraiExpired releases a pending announcement, if one is still wanted.
+func (r *Router) mraiExpired(q RouterID, prefix Prefix) {
+	out := r.outEntry(q, prefix)
+	if !out.pending {
+		return
+	}
+	r.sendAnnouncement(q, prefix, out, out.pendingPath, out.pendingCause)
+}
+
+// resetDamping clears damping penalties, suppression flags, reuse timers and
+// RCN histories, leaving routes untouched. See Network.ResetDamping.
+func (r *Router) resetDamping() {
+	for _, p := range r.peers {
+		for _, e := range r.ribIn[p] {
+			if e.damp != nil {
+				e.damp.Reset()
+			}
+			e.reuseTimer.Cancel()
+			e.reuseTimer = nil
+		}
+		r.history[p] = rcn.NewHistory(r.net.cfg.RCNHistorySize)
+	}
+}
+
+// suppressedCount returns how many of the router's RIB-IN entries are
+// currently suppressed.
+func (r *Router) suppressedCount() int {
+	total := 0
+	for _, p := range r.peers {
+		for _, e := range r.ribIn[p] {
+			if e.damp != nil && e.damp.Suppressed() {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// ribOutPrefixes returns the sorted prefixes with RIB-OUT state toward peer.
+func (r *Router) ribOutPrefixes(peer RouterID) []Prefix {
+	m := r.ribOut[peer]
+	out := make([]Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// localPrefixes returns the sorted prefixes with Local-RIB or origination
+// state.
+func (r *Router) localPrefixes() []Prefix {
+	set := make(map[Prefix]struct{}, len(r.local))
+	for p := range r.local {
+		set[p] = struct{}{}
+	}
+	for p := range r.originated {
+		set[p] = struct{}{}
+	}
+	out := make([]Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkLocalRIB verifies the stored Local-RIB entry equals a fresh run of
+// the decision process.
+func (r *Router) checkLocalRIB(prefix Prefix) error {
+	want := r.decide(prefix)
+	got := r.local[prefix]
+	if !got.equal(want) {
+		return fmt.Errorf("bgp: router %d prefix %s: Local-RIB (peer %d, path [%s]) != decision (peer %d, path [%s])",
+			r.id, prefix, got.bestPeer, got.bestPath, want.bestPeer, want.bestPath)
+	}
+	return nil
+}

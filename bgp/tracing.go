@@ -1,0 +1,91 @@
+package bgp
+
+import (
+	"time"
+
+	"rfd/trace"
+)
+
+// MergeHooks fans every observation out to all the given hook sets, in
+// order. Nil callbacks are skipped. Use it to combine metrics collection
+// with tracing on one network.
+func MergeHooks(hooks ...Hooks) Hooks {
+	return Hooks{
+		OnDeliver: func(at time.Duration, msg Message) {
+			for _, h := range hooks {
+				if h.OnDeliver != nil {
+					h.OnDeliver(at, msg)
+				}
+			}
+		},
+		OnSuppress: func(at time.Duration, router, peer RouterID, prefix Prefix, on bool) {
+			for _, h := range hooks {
+				if h.OnSuppress != nil {
+					h.OnSuppress(at, router, peer, prefix, on)
+				}
+			}
+		},
+		OnReuse: func(at time.Duration, router, peer RouterID, prefix Prefix, noisy bool) {
+			for _, h := range hooks {
+				if h.OnReuse != nil {
+					h.OnReuse(at, router, peer, prefix, noisy)
+				}
+			}
+		},
+		OnPenalty: func(at time.Duration, router, peer RouterID, prefix Prefix, penalty float64) {
+			for _, h := range hooks {
+				if h.OnPenalty != nil {
+					h.OnPenalty(at, router, peer, prefix, penalty)
+				}
+			}
+		},
+	}
+}
+
+// TraceHooks returns hooks that record every observation into log.
+// Combine with other hooks via MergeHooks.
+func TraceHooks(log *trace.Log) Hooks {
+	return Hooks{
+		OnDeliver: func(at time.Duration, msg Message) {
+			e := trace.Event{
+				At:       at,
+				Kind:     trace.KindDeliver,
+				Router:   int(msg.To),
+				Peer:     int(msg.From),
+				Prefix:   string(msg.Prefix),
+				Withdraw: msg.Withdraw,
+			}
+			if len(msg.Path) > 0 {
+				e.Path = msg.Path.String()
+			}
+			if !msg.Cause.IsZero() {
+				e.Cause = msg.Cause.String()
+			}
+			log.Append(e)
+		},
+		OnSuppress: func(at time.Duration, router, peer RouterID, prefix Prefix, on bool) {
+			kind := trace.KindSuppress
+			if !on {
+				kind = trace.KindUnsuppress
+			}
+			log.Append(trace.Event{
+				At: at, Kind: kind,
+				Router: int(router), Peer: int(peer), Prefix: string(prefix),
+			})
+		},
+		OnReuse: func(at time.Duration, router, peer RouterID, prefix Prefix, noisy bool) {
+			log.Append(trace.Event{
+				At: at, Kind: trace.KindReuse,
+				Router: int(router), Peer: int(peer), Prefix: string(prefix),
+				Noisy: noisy,
+			})
+		},
+		OnPenalty: func(at time.Duration, router, peer RouterID, prefix Prefix, penalty float64) {
+			log.Append(trace.Event{
+				At: at, Kind: trace.KindPenalty,
+				Router: int(router), Peer: int(peer), Prefix: string(prefix),
+				Penalty: penalty,
+			})
+		},
+	}
+}

@@ -1,0 +1,114 @@
+// Package bgp implements the path-vector routing engine the experiments run:
+// BGP-4 semantics as the paper's SSFNet simulations rely on them — RIB-IN /
+// Local-RIB / RIB-OUT per router (Figure 2 of the paper), a deterministic
+// decision process, per-(peer,prefix) MRAI rate limiting, AS-path loop
+// prevention, export policies (shortest-path and no-valley), and per-(peer,
+// prefix) route flap damping with optional RCN-enhanced penalty filtering.
+//
+// The engine runs on the sim kernel: routers are plain structs, links are
+// FIFO channels with fixed propagation delay, and all processing is
+// event-driven and deterministic.
+package bgp
+
+import (
+	"fmt"
+	"strings"
+
+	"rfd/rcn"
+	"rfd/topology"
+)
+
+// RouterID identifies a router (an AS — the model is one router per AS, as
+// in the paper's simulations). It equals the node's topology.NodeID.
+type RouterID = topology.NodeID
+
+// Prefix names a destination. The experiments use a single flapping prefix,
+// but the engine supports any number.
+type Prefix string
+
+// Path is an AS path: Path[0] is the router that advertised the route (the
+// receiving router's peer) and Path[len-1] is the origin.
+type Path []RouterID
+
+// Clone returns an independent copy of the path.
+func (p Path) Clone() Path {
+	if p == nil {
+		return nil
+	}
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// Contains reports whether the path traverses id (loop detection).
+func (p Path) Contains(id RouterID) bool {
+	for _, hop := range p {
+		if hop == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prepend returns a new path with id prepended (what a router advertises to
+// its peers: itself followed by its best path).
+func (p Path) Prepend(id RouterID) Path {
+	out := make(Path, 0, len(p)+1)
+	out = append(out, id)
+	return append(out, p...)
+}
+
+// String renders the path like "3 7 12".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "<empty>"
+	}
+	var sb strings.Builder
+	for i, hop := range p {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", hop)
+	}
+	return sb.String()
+}
+
+// Message is one BGP update: an announcement (Path non-nil) or a withdrawal
+// (Withdraw true, Path nil) for one prefix, optionally carrying a root cause.
+type Message struct {
+	// From and To are the sending and receiving routers.
+	From, To RouterID
+	// Prefix is the destination the update concerns.
+	Prefix Prefix
+	// Withdraw marks the update as a withdrawal.
+	Withdraw bool
+	// Path is the advertised AS path (announcements only). Path[0] == From.
+	Path Path
+	// Cause is the attached root cause; zero when RCN is disabled or the
+	// update has no known cause.
+	Cause rcn.Cause
+}
+
+// IsAnnouncement reports whether the message announces a route.
+func (m Message) IsAnnouncement() bool { return !m.Withdraw }
+
+// String renders the message for traces.
+func (m Message) String() string {
+	if m.Withdraw {
+		return fmt.Sprintf("W %d->%d %s cause=%s", m.From, m.To, m.Prefix, m.Cause)
+	}
+	return fmt.Sprintf("A %d->%d %s path=[%s] cause=%s", m.From, m.To, m.Prefix, m.Path, m.Cause)
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"fmt"
+
+	"rfd/bgp"
+)
+
+// PrefixMapper translates the simulator's opaque prefix names into IPv4
+// prefixes for wire encoding. Mappings must be stable within one export.
+type PrefixMapper func(bgp.Prefix) (Prefix, error)
+
+// StaticPrefixMap returns a PrefixMapper backed by a fixed table.
+func StaticPrefixMap(table map[bgp.Prefix]string) (PrefixMapper, error) {
+	parsed := make(map[bgp.Prefix]Prefix, len(table))
+	for name, s := range table {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("wire: prefix map entry %q: %w", name, err)
+		}
+		parsed[name] = p
+	}
+	return func(name bgp.Prefix) (Prefix, error) {
+		p, ok := parsed[name]
+		if !ok {
+			return Prefix{}, fmt.Errorf("wire: no mapping for prefix %q", name)
+		}
+		return p, nil
+	}, nil
+}
+
+// FromMessage converts one simulator update into a wire UPDATE. Router IDs
+// become 2-byte AS numbers (offset by asBase so AS 0 is never emitted); the
+// next hop is synthesized from the sending router's ID in 10.0.0.0/8.
+func FromMessage(m bgp.Message, mapPrefix PrefixMapper, asBase uint16) (*Update, error) {
+	p, err := mapPrefix(m.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	u := &Update{RootCause: m.Cause}
+	if m.Withdraw {
+		u.Withdrawn = []Prefix{p}
+		return u, nil
+	}
+	u.NLRI = []Prefix{p}
+	u.Origin = OriginIGP
+	u.ASPath = make([]uint16, 0, len(m.Path))
+	for _, hop := range m.Path {
+		asn := int(hop) + int(asBase)
+		if asn < 1 || asn > 0xffff {
+			return nil, fmt.Errorf("wire: router %d maps outside 2-byte AS space (base %d)", hop, asBase)
+		}
+		u.ASPath = append(u.ASPath, uint16(asn))
+	}
+	from := uint32(m.From)
+	u.NextHop = [4]byte{10, byte(from >> 16), byte(from >> 8), byte(from)}
+	return u, nil
+}
+
+// ToMessage converts a decoded UPDATE back into a simulator message. It is
+// the inverse of FromMessage for single-prefix updates; reverseMap resolves
+// the wire prefix back to its simulator name.
+func ToMessage(u *Update, reverseMap func(Prefix) (bgp.Prefix, error), asBase uint16) (bgp.Message, error) {
+	var m bgp.Message
+	switch {
+	case len(u.Withdrawn) == 1 && len(u.NLRI) == 0:
+		m.Withdraw = true
+		name, err := reverseMap(u.Withdrawn[0])
+		if err != nil {
+			return bgp.Message{}, err
+		}
+		m.Prefix = name
+	case len(u.NLRI) == 1 && len(u.Withdrawn) == 0:
+		name, err := reverseMap(u.NLRI[0])
+		if err != nil {
+			return bgp.Message{}, err
+		}
+		m.Prefix = name
+		m.Path = make(bgp.Path, 0, len(u.ASPath))
+		for _, asn := range u.ASPath {
+			if asn < asBase {
+				return bgp.Message{}, fmt.Errorf("wire: AS %d below base %d", asn, asBase)
+			}
+			m.Path = append(m.Path, bgp.RouterID(int(asn)-int(asBase)))
+		}
+		if len(m.Path) > 0 {
+			m.From = m.Path[0]
+		}
+	default:
+		return bgp.Message{}, fmt.Errorf("wire: update is not single-prefix (%d withdrawn, %d announced)",
+			len(u.Withdrawn), len(u.NLRI))
+	}
+	m.Cause = u.RootCause
+	return m, nil
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/rcn"
+	"rfd/sim"
+	"rfd/topology"
+)
+
+func testMapper(t *testing.T) (PrefixMapper, func(Prefix) (bgp.Prefix, error)) {
+	t.Helper()
+	mapper, err := StaticPrefixMap(map[bgp.Prefix]string{
+		"origin/8": "10.0.0.0/8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverse := func(p Prefix) (bgp.Prefix, error) {
+		return bgp.Prefix("origin/8"), nil
+	}
+	return mapper, reverse
+}
+
+func TestStaticPrefixMapErrors(t *testing.T) {
+	if _, err := StaticPrefixMap(map[bgp.Prefix]string{"x": "garbage"}); err == nil {
+		t.Fatal("bad table entry accepted")
+	}
+	mapper, err := StaticPrefixMap(map[bgp.Prefix]string{"a/8": "10.0.0.0/8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapper("unknown/8"); err == nil {
+		t.Fatal("unknown prefix mapped")
+	}
+}
+
+func TestMessageWireRoundTrip(t *testing.T) {
+	mapper, reverse := testMapper(t)
+	const asBase = 100
+	orig := bgp.Message{
+		From:   3,
+		To:     7,
+		Prefix: "origin/8",
+		Path:   bgp.Path{3, 5, 0},
+		Cause:  rcn.Cause{U: 0, V: 99, Status: rcn.LinkUp, Seq: 4},
+	}
+	u, err := FromMessage(orig, mapper, asBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToMessage(decoded, reverse, asBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Path.Equal(orig.Path) {
+		t.Fatalf("path changed: %v -> %v", orig.Path, back.Path)
+	}
+	if back.Prefix != orig.Prefix || back.Withdraw || back.Cause != orig.Cause {
+		t.Fatalf("message changed: %+v", back)
+	}
+	if back.From != orig.From {
+		t.Fatalf("From changed: %d -> %d", orig.From, back.From)
+	}
+}
+
+func TestWithdrawalWireRoundTrip(t *testing.T) {
+	mapper, reverse := testMapper(t)
+	orig := bgp.Message{From: 1, To: 2, Prefix: "origin/8", Withdraw: true}
+	u, err := FromMessage(orig, mapper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToMessage(decoded, reverse, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Withdraw || back.Prefix != "origin/8" {
+		t.Fatalf("withdrawal changed: %+v", back)
+	}
+}
+
+func TestFromMessageASRangeValidation(t *testing.T) {
+	mapper, _ := testMapper(t)
+	m := bgp.Message{Prefix: "origin/8", Path: bgp.Path{0}}
+	if _, err := FromMessage(m, mapper, 0); err == nil {
+		t.Fatal("AS 0 accepted")
+	}
+	big := bgp.Message{Prefix: "origin/8", Path: bgp.Path{70000}}
+	if _, err := FromMessage(big, mapper, 1); err == nil {
+		t.Fatal("AS beyond 2-byte space accepted")
+	}
+}
+
+func TestToMessageRejectsMultiPrefix(t *testing.T) {
+	_, reverse := testMapper(t)
+	u := &Update{
+		Withdrawn: []Prefix{{Addr: [4]byte{10, 0, 0, 0}, Length: 8}},
+		NLRI:      []Prefix{{Addr: [4]byte{11, 0, 0, 0}, Length: 8}},
+		ASPath:    []uint16{5},
+	}
+	if _, err := ToMessage(u, reverse, 1); err == nil {
+		t.Fatal("mixed update accepted")
+	}
+}
+
+// TestExportLiveRunToWire streams every update of a real (small) simulation
+// through the wire codec and back, verifying the encoding is lossless for
+// everything the engine produces — including RCN causes.
+func TestExportLiveRunToWire(t *testing.T) {
+	g, err := topology.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := g.AddNode()
+	if err := g.AddEdge(origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := bgp.DefaultConfig()
+	params := damping.Cisco()
+	cfg.Damping = &params
+	cfg.EnableRCN = true
+	k := sim.NewKernel(sim.WithSeed(1))
+	n, err := bgp.NewNetwork(k, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, reverse := testMapper(t)
+	const asBase = 1
+	exported := 0
+	n.SetHooks(bgp.Hooks{OnDeliver: func(_ time.Duration, m bgp.Message) {
+		u, err := FromMessage(m, mapper, asBase)
+		if err != nil {
+			t.Fatalf("FromMessage(%s): %v", m, err)
+		}
+		b, err := u.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal(%s): %v", m, err)
+		}
+		decoded, err := UnmarshalUpdate(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%s): %v", m, err)
+		}
+		back, err := ToMessage(decoded, reverse, asBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Withdraw != m.Withdraw || !back.Path.Equal(m.Path) ||
+			back.Cause != m.Cause || back.Prefix != m.Prefix {
+			t.Fatalf("lossy round trip: %s -> %s", m, back)
+		}
+		exported++
+	}})
+	n.Router(origin).Originate(bgp.Prefix("origin/8"))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n.Router(origin).StopOriginating(bgp.Prefix("origin/8"))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if exported < 100 {
+		t.Fatalf("only %d updates exported; expected a busy run", exported)
+	}
+}

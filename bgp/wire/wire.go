@@ -1,0 +1,504 @@
+// Package wire implements the BGP-4 message encoding of RFC 4271 for the
+// message types the simulator exercises — OPEN, UPDATE, KEEPALIVE and
+// NOTIFICATION — plus an experimental optional-transitive path attribute
+// carrying the paper's Root Cause Notification, so simulated update streams
+// can be exported in (and re-imported from) the real on-the-wire format.
+//
+// The subset is faithful where implemented: 16-byte all-ones marker, 2-byte
+// length, classic 2-byte AS numbers, IPv4 NLRI with bit-length prefix
+// packing, and path attributes ORIGIN / AS_PATH (AS_SEQUENCE) / NEXT_HOP
+// with correct flag handling and extended-length support on decode.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rfd/rcn"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin  = 1
+	attrASPath  = 2
+	attrNextHop = 3
+	// AttrRootCause is the experimental optional-transitive attribute
+	// carrying the RCN {link, status, seq} tuple (type 252 is in IANA's
+	// experimental range).
+	AttrRootCause = 252
+)
+
+// Origin attribute values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Header and message size constants (RFC 4271 §4.1).
+const (
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+)
+
+// ErrMalformed is wrapped by all decode errors.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Prefix is an IPv4 prefix in NLRI form.
+type Prefix struct {
+	// Addr holds the network address; bits beyond Length must be zero.
+	Addr [4]byte
+	// Length is the prefix length in bits, 0..32.
+	Length uint8
+}
+
+// ParsePrefix parses dotted-quad/len notation, e.g. "10.1.0.0/16".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("wire: prefix %q missing /len", s)
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return Prefix{}, fmt.Errorf("wire: prefix %q has invalid length", s)
+	}
+	parts := strings.Split(s[:slash], ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("wire: prefix %q is not dotted quad", s)
+	}
+	var p Prefix
+	for i, part := range parts {
+		octet, err := strconv.Atoi(part)
+		if err != nil || octet < 0 || octet > 255 {
+			return Prefix{}, fmt.Errorf("wire: prefix %q octet %d invalid", s, i)
+		}
+		p.Addr[i] = byte(octet)
+	}
+	p.Length = uint8(length)
+	if err := p.validate(); err != nil {
+		return Prefix{}, err
+	}
+	return p, nil
+}
+
+// String renders dotted-quad/len.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr[0], p.Addr[1], p.Addr[2], p.Addr[3], p.Length)
+}
+
+// validate checks the length range and that host bits are zero.
+func (p Prefix) validate() error {
+	if p.Length > 32 {
+		return fmt.Errorf("wire: prefix length %d > 32", p.Length)
+	}
+	mask := uint32(0)
+	if p.Length > 0 {
+		mask = ^uint32(0) << (32 - uint32(p.Length))
+	}
+	addr := binary.BigEndian.Uint32(p.Addr[:])
+	if addr&^mask != 0 {
+		return fmt.Errorf("wire: prefix %s has non-zero host bits", p)
+	}
+	return nil
+}
+
+// nlriLen returns the encoded size: 1 length byte + ceil(Length/8) octets.
+func (p Prefix) nlriLen() int { return 1 + int(p.Length+7)/8 }
+
+// appendNLRI encodes the prefix in packed NLRI form.
+func (p Prefix) appendNLRI(b []byte) []byte {
+	b = append(b, p.Length)
+	return append(b, p.Addr[:(p.Length+7)/8]...)
+}
+
+// decodeNLRI parses one packed prefix, returning it and the bytes consumed.
+func decodeNLRI(b []byte) (Prefix, int, error) {
+	if len(b) < 1 {
+		return Prefix{}, 0, fmt.Errorf("%w: truncated NLRI", ErrMalformed)
+	}
+	length := b[0]
+	if length > 32 {
+		return Prefix{}, 0, fmt.Errorf("%w: NLRI length %d", ErrMalformed, length)
+	}
+	octets := int(length+7) / 8
+	if len(b) < 1+octets {
+		return Prefix{}, 0, fmt.Errorf("%w: truncated NLRI body", ErrMalformed)
+	}
+	var p Prefix
+	p.Length = length
+	copy(p.Addr[:octets], b[1:1+octets])
+	if err := p.validate(); err != nil {
+		return Prefix{}, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return p, 1 + octets, nil
+}
+
+// Update is a decoded UPDATE message.
+type Update struct {
+	// Withdrawn lists the withdrawn prefixes.
+	Withdrawn []Prefix
+	// NLRI lists the announced prefixes (attributes below apply to them).
+	NLRI []Prefix
+	// Origin is the ORIGIN attribute (announcements only).
+	Origin uint8
+	// ASPath is the AS_PATH as one AS_SEQUENCE of classic 2-byte ASNs.
+	ASPath []uint16
+	// NextHop is the NEXT_HOP attribute.
+	NextHop [4]byte
+	// RootCause, when non-zero, is encoded as the experimental RCN
+	// attribute.
+	RootCause rcn.Cause
+}
+
+// appendHeader writes the 19-byte header for a body of the given length.
+func appendHeader(b []byte, msgType byte, bodyLen int) ([]byte, error) {
+	total := HeaderLen + bodyLen
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("wire: message length %d exceeds %d", total, MaxMessageLen)
+	}
+	for i := 0; i < 16; i++ {
+		b = append(b, 0xff)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	return append(b, msgType), nil
+}
+
+// attr appends one path attribute with standard (non-extended) length.
+func attr(b []byte, flags, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > 255 {
+		// Use the extended-length form.
+		b = append(b, flags|0x10, typ)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
+		return append(b, payload...), nil
+	}
+	b = append(b, flags, typ, byte(len(payload)))
+	return append(b, payload...), nil
+}
+
+const (
+	flagWellKnown  = 0x40 // transitive
+	flagOptional   = 0xc0 // optional transitive
+	flagExtendedLn = 0x10
+)
+
+// Marshal encodes the UPDATE per RFC 4271 §4.3.
+func (u *Update) Marshal() ([]byte, error) {
+	for _, p := range append(append([]Prefix{}, u.Withdrawn...), u.NLRI...) {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+	}
+	var withdrawn []byte
+	for _, p := range u.Withdrawn {
+		withdrawn = p.appendNLRI(withdrawn)
+	}
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		var err error
+		if u.Origin > OriginIncomplete {
+			return nil, fmt.Errorf("wire: invalid ORIGIN %d", u.Origin)
+		}
+		if attrs, err = attr(attrs, flagWellKnown, attrOrigin, []byte{u.Origin}); err != nil {
+			return nil, err
+		}
+		if len(u.ASPath) > 255 {
+			return nil, fmt.Errorf("wire: AS_PATH with %d hops exceeds one segment", len(u.ASPath))
+		}
+		seg := make([]byte, 0, 2+2*len(u.ASPath))
+		seg = append(seg, 2 /* AS_SEQUENCE */, byte(len(u.ASPath)))
+		for _, asn := range u.ASPath {
+			seg = binary.BigEndian.AppendUint16(seg, asn)
+		}
+		if attrs, err = attr(attrs, flagWellKnown, attrASPath, seg); err != nil {
+			return nil, err
+		}
+		if attrs, err = attr(attrs, flagWellKnown, attrNextHop, u.NextHop[:]); err != nil {
+			return nil, err
+		}
+	}
+	if !u.RootCause.IsZero() {
+		payload := make([]byte, 0, 17)
+		payload = binary.BigEndian.AppendUint32(payload, uint32(u.RootCause.U))
+		payload = binary.BigEndian.AppendUint32(payload, uint32(u.RootCause.V))
+		payload = append(payload, byte(u.RootCause.Status))
+		payload = binary.BigEndian.AppendUint64(payload, u.RootCause.Seq)
+		var err error
+		if attrs, err = attr(attrs, flagOptional, AttrRootCause, payload); err != nil {
+			return nil, err
+		}
+	}
+
+	var nlri []byte
+	for _, p := range u.NLRI {
+		nlri = p.appendNLRI(nlri)
+	}
+
+	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	out, err := appendHeader(make([]byte, 0, HeaderLen+bodyLen), TypeUpdate, bodyLen)
+	if err != nil {
+		return nil, err
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(withdrawn)))
+	out = append(out, withdrawn...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
+	out = append(out, attrs...)
+	out = append(out, nlri...)
+	return out, nil
+}
+
+// checkHeader validates marker/length/type and returns the body.
+func checkHeader(b []byte, wantType byte) ([]byte, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes < header", ErrMalformed, len(b))
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != 0xff {
+			return nil, fmt.Errorf("%w: bad marker at octet %d", ErrMalformed, i)
+		}
+	}
+	total := int(binary.BigEndian.Uint16(b[16:18]))
+	if total != len(b) || total > MaxMessageLen {
+		return nil, fmt.Errorf("%w: length field %d != message size %d", ErrMalformed, total, len(b))
+	}
+	if b[18] != wantType {
+		return nil, fmt.Errorf("%w: type %d, want %d", ErrMalformed, b[18], wantType)
+	}
+	return b[HeaderLen:], nil
+}
+
+// UnmarshalUpdate decodes an UPDATE message.
+func UnmarshalUpdate(b []byte) (*Update, error) {
+	body, err := checkHeader(b, TypeUpdate)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: truncated withdrawn length", ErrMalformed)
+	}
+	withdrawnLen := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) < withdrawnLen {
+		return nil, fmt.Errorf("%w: truncated withdrawn routes", ErrMalformed)
+	}
+	u := &Update{}
+	wd := body[:withdrawnLen]
+	for len(wd) > 0 {
+		p, n, err := decodeNLRI(wd)
+		if err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wd = wd[n:]
+	}
+	body = body[withdrawnLen:]
+
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: truncated attribute length", ErrMalformed)
+	}
+	attrsLen := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) < attrsLen {
+		return nil, fmt.Errorf("%w: truncated attributes", ErrMalformed)
+	}
+	attrs := body[:attrsLen]
+	nlri := body[attrsLen:]
+
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, fmt.Errorf("%w: truncated attribute header", ErrMalformed)
+		}
+		flags, typ := attrs[0], attrs[1]
+		var alen, hdr int
+		if flags&flagExtendedLn != 0 {
+			if len(attrs) < 4 {
+				return nil, fmt.Errorf("%w: truncated extended length", ErrMalformed)
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			hdr = 4
+		} else {
+			alen = int(attrs[2])
+			hdr = 3
+		}
+		if len(attrs) < hdr+alen {
+			return nil, fmt.Errorf("%w: attribute %d truncated", ErrMalformed, typ)
+		}
+		payload := attrs[hdr : hdr+alen]
+		switch typ {
+		case attrOrigin:
+			if alen != 1 || payload[0] > OriginIncomplete {
+				return nil, fmt.Errorf("%w: bad ORIGIN", ErrMalformed)
+			}
+			u.Origin = payload[0]
+		case attrASPath:
+			if err := decodeASPath(payload, u); err != nil {
+				return nil, err
+			}
+		case attrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrMalformed, alen)
+			}
+			copy(u.NextHop[:], payload)
+		case AttrRootCause:
+			if alen != 17 {
+				return nil, fmt.Errorf("%w: root-cause length %d", ErrMalformed, alen)
+			}
+			u.RootCause = rcn.Cause{
+				U:      int(binary.BigEndian.Uint32(payload[0:4])),
+				V:      int(binary.BigEndian.Uint32(payload[4:8])),
+				Status: rcn.Status(payload[8]),
+				Seq:    binary.BigEndian.Uint64(payload[9:17]),
+			}
+			if u.RootCause.Status != rcn.LinkDown && u.RootCause.Status != rcn.LinkUp {
+				return nil, fmt.Errorf("%w: root-cause status %d", ErrMalformed, payload[8])
+			}
+		default:
+			if flags&0x80 == 0 {
+				// Unrecognized well-known attribute: error per RFC 4271.
+				return nil, fmt.Errorf("%w: unrecognized well-known attribute %d", ErrMalformed, typ)
+			}
+			// Unrecognized optional attributes are skipped.
+		}
+		attrs = attrs[hdr+alen:]
+	}
+
+	for len(nlri) > 0 {
+		p, n, err := decodeNLRI(nlri)
+		if err != nil {
+			return nil, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		nlri = nlri[n:]
+	}
+	if len(u.NLRI) > 0 && len(u.ASPath) == 0 {
+		return nil, fmt.Errorf("%w: NLRI without AS_PATH", ErrMalformed)
+	}
+	return u, nil
+}
+
+// decodeASPath parses a single-segment AS_SEQUENCE path.
+func decodeASPath(b []byte, u *Update) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) < 2 {
+		return fmt.Errorf("%w: truncated AS_PATH", ErrMalformed)
+	}
+	segType, count := b[0], int(b[1])
+	if segType != 2 {
+		return fmt.Errorf("%w: AS_PATH segment type %d unsupported", ErrMalformed, segType)
+	}
+	if len(b) != 2+2*count {
+		return fmt.Errorf("%w: AS_PATH segment size", ErrMalformed)
+	}
+	for i := 0; i < count; i++ {
+		u.ASPath = append(u.ASPath, binary.BigEndian.Uint16(b[2+2*i:]))
+	}
+	return nil
+}
+
+// Open is a decoded OPEN message (RFC 4271 §4.2, no optional parameters).
+type Open struct {
+	Version  uint8
+	AS       uint16
+	HoldTime uint16
+	RouterID [4]byte
+}
+
+// Marshal encodes the OPEN message.
+func (o *Open) Marshal() ([]byte, error) {
+	out, err := appendHeader(make([]byte, 0, HeaderLen+10), TypeOpen, 10)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, o.Version)
+	out = binary.BigEndian.AppendUint16(out, o.AS)
+	out = binary.BigEndian.AppendUint16(out, o.HoldTime)
+	out = append(out, o.RouterID[:]...)
+	return append(out, 0 /* no optional parameters */), nil
+}
+
+// UnmarshalOpen decodes an OPEN message.
+func UnmarshalOpen(b []byte) (*Open, error) {
+	body, err := checkHeader(b, TypeOpen)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 10 {
+		return nil, fmt.Errorf("%w: OPEN body %d bytes", ErrMalformed, len(body))
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       binary.BigEndian.Uint16(body[1:3]),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+	}
+	copy(o.RouterID[:], body[5:9])
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return nil, fmt.Errorf("%w: OPEN optional parameter length", ErrMalformed)
+	}
+	return o, nil
+}
+
+// MarshalKeepalive encodes a KEEPALIVE (header only).
+func MarshalKeepalive() []byte {
+	out, err := appendHeader(make([]byte, 0, HeaderLen), TypeKeepalive, 0)
+	if err != nil {
+		panic("wire: keepalive cannot exceed max length") // impossible
+	}
+	return out
+}
+
+// UnmarshalKeepalive validates a KEEPALIVE message.
+func UnmarshalKeepalive(b []byte) error {
+	body, err := checkHeader(b, TypeKeepalive)
+	if err != nil {
+		return err
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: KEEPALIVE with body", ErrMalformed)
+	}
+	return nil
+}
+
+// Notification is a decoded NOTIFICATION message.
+type Notification struct {
+	Code, Subcode uint8
+	Data          []byte
+}
+
+// Marshal encodes the NOTIFICATION.
+func (n *Notification) Marshal() ([]byte, error) {
+	out, err := appendHeader(make([]byte, 0, HeaderLen+2+len(n.Data)), TypeNotification, 2+len(n.Data))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, n.Code, n.Subcode)
+	return append(out, n.Data...), nil
+}
+
+// UnmarshalNotification decodes a NOTIFICATION message.
+func UnmarshalNotification(b []byte) (*Notification, error) {
+	body, err := checkHeader(b, TypeNotification)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: NOTIFICATION body %d bytes", ErrMalformed, len(body))
+	}
+	n := &Notification{Code: body[0], Subcode: body[1]}
+	if len(body) > 2 {
+		n.Data = append([]byte(nil), body[2:]...)
+	}
+	return n, nil
+}

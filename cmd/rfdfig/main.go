@@ -1,0 +1,385 @@
+// Command rfdfig regenerates the tables and figures of "Timer Interaction in
+// Route Flap Damping" (ICDCS 2005): CSV data files plus ASCII previews.
+//
+// Examples:
+//
+//	rfdfig -fig fig8 -out out/            # Fig 8 at paper scale (slow-ish)
+//	rfdfig -fig all -small -out out/      # everything, reduced scale
+//	rfdfig -fig fig3                      # print to stdout (no -out)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rfd/experiment"
+	"rfd/internal/asciiplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfdfig", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | all")
+		outDir = fs.String("out", "", "directory for CSV output (stdout when empty)")
+		small  = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		noPlot = fs.Bool("noplot", false, "suppress ASCII previews")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.DefaultOptions()
+	opts.Seed = *seed
+	if *small {
+		opts.MeshRows, opts.MeshCols = 5, 5
+		opts.InternetNodes = 30
+		opts.PolicyNodes = 40
+		opts.MaxPulses = 4
+	}
+
+	g := &generator{opts: opts, outDir: *outDir, plot: !*noPlot}
+	all := *fig == "all"
+	ran := false
+	for name, fn := range map[string]func() error{
+		"table1": g.table1,
+		"fig3":   g.fig3,
+		"fig7":   g.fig7,
+		"fig8":   g.eval, // fig8/9/13/14 share one evaluation pass
+		"fig9":   g.eval,
+		"fig13":  g.eval,
+		"fig14":  g.eval,
+		"fig10":  g.fig10,
+		"fig15":  g.fig15,
+		// Extensions beyond the paper's figures (tech-report variations).
+		"deployment": g.deployment,
+		"filters":    g.filters,
+		"intervals":  g.intervals,
+		"sizes":      g.sizes,
+		"events":     g.events,
+	} {
+		if all || *fig == name {
+			ran = true
+			if err := fn(); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return nil
+}
+
+// generator carries shared state so the eval pass runs once even when
+// several of figs 8/9/13/14 are requested.
+type generator struct {
+	opts    experiment.Options
+	outDir  string
+	plot    bool
+	evalRan bool
+}
+
+// sink returns the writer for one artifact (file under outDir, else stdout).
+func (g *generator) sink(name string) (io.Writer, func() error, error) {
+	if g.outDir == "" {
+		fmt.Printf("--- %s ---\n", name)
+		return os.Stdout, func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(g.outDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(g.outDir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(g.outDir, name))
+	return f, f.Close, nil
+}
+
+func (g *generator) table1() error {
+	w, done, err := g.sink("table1.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteTable1CSV(w); err != nil {
+		return err
+	}
+	return done()
+}
+
+func (g *generator) fig3() error {
+	data, err := experiment.Fig3(g.opts)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("fig3_penalty.csv")
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(w); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	if g.plot {
+		var xs, ys []float64
+		for _, p := range data.Trace {
+			xs = append(xs, p.At.Seconds())
+			ys = append(ys, p.Penalty)
+		}
+		return asciiplot.Plot(os.Stdout, "Fig 3: damping penalty (cutoff 2000, reuse 750)",
+			[]asciiplot.Series{{Name: "penalty", X: xs, Y: ys}}, 72, 16)
+	}
+	return nil
+}
+
+func (g *generator) fig7() error {
+	data, err := experiment.Fig7(g.opts)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("fig7_penalty.csv")
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(w); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	fmt.Printf("fig7: watched router %d peer %d; %d secondary-charging increments; convergence %.0f s\n",
+		data.Watched.Router, data.Watched.Peer, data.Recharges, data.Result.ConvergenceTime.Seconds())
+	if g.plot && len(data.Trace) > 0 {
+		var xs, ys []float64
+		for _, p := range data.Trace {
+			xs = append(xs, p.At.Seconds())
+			ys = append(ys, p.Penalty)
+		}
+		return asciiplot.Plot(os.Stdout, "Fig 7: penalty at a remote router (single pulse, secondary charging)",
+			[]asciiplot.Series{{Name: "penalty", X: xs, Y: ys}}, 72, 16)
+	}
+	return nil
+}
+
+func (g *generator) eval() error {
+	if g.evalRan {
+		return nil
+	}
+	g.evalRan = true
+	start := time.Now()
+	data, err := experiment.Eval(g.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("eval: %d pulse counts x 4 configurations in %v (critical point Nh = %d)\n",
+		len(data.Rows), time.Since(start).Round(time.Second), data.Nh)
+	for name, write := range map[string]func(io.Writer) error{
+		"fig8_convergence.csv":      data.WriteFig8CSV,
+		"fig9_messages.csv":         data.WriteFig9CSV,
+		"fig13_rcn_convergence.csv": data.WriteFig13CSV,
+		"fig14_rcn_messages.csv":    data.WriteFig14CSV,
+	} {
+		w, done, err := g.sink(name)
+		if err != nil {
+			return err
+		}
+		if err := write(w); err != nil {
+			return err
+		}
+		if err := done(); err != nil {
+			return err
+		}
+	}
+	if !g.plot {
+		return nil
+	}
+	var xs, noDamp, damp, inet, rcnC, calc []float64
+	for _, r := range data.Rows {
+		xs = append(xs, float64(r.Pulses))
+		noDamp = append(noDamp, r.NoDampingMeshConv.Seconds())
+		damp = append(damp, r.DampingMeshConv.Seconds())
+		inet = append(inet, r.DampingInternetConv.Seconds())
+		rcnC = append(rcnC, r.RCNMeshConv.Seconds())
+		calc = append(calc, r.CalcConv.Seconds())
+	}
+	return asciiplot.Plot(os.Stdout, "Fig 8/13: convergence time (s) vs pulses",
+		[]asciiplot.Series{
+			{Name: "no damping (mesh)", X: xs, Y: noDamp},
+			{Name: "full damping (mesh)", X: xs, Y: damp},
+			{Name: "full damping (internet)", X: xs, Y: inet},
+			{Name: "damping + RCN", X: xs, Y: rcnC},
+			{Name: "calculation", X: xs, Y: calc},
+		}, 72, 18)
+}
+
+func (g *generator) fig10() error {
+	data, err := experiment.Fig10(g.opts)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("fig10_series.csv")
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(w); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	for _, n := range []int{1, 3, 5} {
+		res := data.Runs[n]
+		fmt.Printf("fig10 n=%d: convergence %.0f s, %d updates, peak damped links %d, %s\n",
+			n, res.ConvergenceTime.Seconds(), res.MessageCount, res.MaxDamped, res.Phases)
+	}
+	return nil
+}
+
+func (g *generator) deployment() error {
+	rows, err := experiment.PartialDeployment(g.opts, []int{0, 25, 50, 75, 100}, 1)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_deployment.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteDeploymentCSV(w, rows); err != nil {
+		return err
+	}
+	return done()
+}
+
+func (g *generator) filters() error {
+	rows, err := experiment.FilterComparison(g.opts, experiment.PulseRange(0, g.opts.MaxPulses))
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_filters.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteFilterCSV(w, rows); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	if !g.plot {
+		return nil
+	}
+	var xs, classic, selective, rcnC, intended []float64
+	for _, r := range rows {
+		xs = append(xs, float64(r.Pulses))
+		classic = append(classic, r.Classic.Seconds())
+		selective = append(selective, r.Selective.Seconds())
+		rcnC = append(rcnC, r.RCN.Seconds())
+		intended = append(intended, r.Intended.Seconds())
+	}
+	return asciiplot.Plot(os.Stdout, "Penalty filters: convergence time (s) vs pulses",
+		[]asciiplot.Series{
+			{Name: "classic damping", X: xs, Y: classic},
+			{Name: "selective damping (Mao et al.)", X: xs, Y: selective},
+			{Name: "RCN-enhanced", X: xs, Y: rcnC},
+			{Name: "intended", X: xs, Y: intended},
+		}, 72, 16)
+}
+
+func (g *generator) intervals() error {
+	rows, err := experiment.FlapIntervalSweep(g.opts, []time.Duration{
+		15 * time.Second, 30 * time.Second, 60 * time.Second,
+		2 * time.Minute, 5 * time.Minute, 15 * time.Minute, 30 * time.Minute,
+	}, 3)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_intervals.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteIntervalCSV(w, rows); err != nil {
+		return err
+	}
+	return done()
+}
+
+func (g *generator) sizes() error {
+	sides := []int{4, 6, 8, 10, 12}
+	if g.opts.MeshRows < 10 { // -small
+		sides = []int{4, 5, 6}
+	}
+	rows, err := experiment.TopologySizeSweep(g.opts, sides, 1)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_sizes.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteSizeCSV(w, rows); err != nil {
+		return err
+	}
+	return done()
+}
+
+func (g *generator) events() error {
+	rows, err := experiment.ConvergenceEvents(g.opts)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_events.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteEventsCSV(w, rows); err != nil {
+		return err
+	}
+	return done()
+}
+
+func (g *generator) fig15() error {
+	data, err := experiment.Fig15(g.opts)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("fig15_policy.csv")
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(w); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	if !g.plot {
+		return nil
+	}
+	var xs, withPol, noPol, intended []float64
+	for _, r := range data.Rows {
+		xs = append(xs, float64(r.Pulses))
+		withPol = append(withPol, r.WithPolicy.Seconds())
+		noPol = append(noPol, r.NoPolicy.Seconds())
+		intended = append(intended, r.Intended.Seconds())
+	}
+	return asciiplot.Plot(os.Stdout, fmt.Sprintf("Fig 15: policy impact (%d-node internet)", data.Nodes),
+		[]asciiplot.Series{
+			{Name: "with policy (no-valley)", X: xs, Y: withPol},
+			{Name: "no policy (shortest path)", X: xs, Y: noPol},
+			{Name: "intended (calculation)", X: xs, Y: intended},
+		}, 72, 16)
+}

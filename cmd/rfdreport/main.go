@@ -1,0 +1,54 @@
+// Command rfdreport runs the complete evaluation — every paper figure plus
+// the extension experiments — and writes one self-contained Markdown report.
+//
+// Examples:
+//
+//	rfdreport > report.md            # paper scale (~30 s)
+//	rfdreport -small                 # reduced scale, seconds
+//	rfdreport -seed 7 -o report7.md  # different randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfd/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfdreport", flag.ContinueOnError)
+	var (
+		small = fs.Bool("small", false, "reduced scale for quick runs")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		out   = fs.String("o", "", "output file (stdout when empty)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiment.DefaultOptions()
+	opts.Seed = *seed
+	if *small {
+		opts.MeshRows, opts.MeshCols = 5, 5
+		opts.InternetNodes = 30
+		opts.PolicyNodes = 40
+		opts.MaxPulses = 4
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return experiment.WriteReport(w, opts)
+}

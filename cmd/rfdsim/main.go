@@ -1,0 +1,161 @@
+// Command rfdsim runs a single route-flap-damping simulation and prints its
+// measurements: convergence time, message count, damped-link peak, reuse
+// statistics and the four-state phase decomposition.
+//
+// Examples:
+//
+//	rfdsim -pulses 1                          # paper mesh, single pulse, Cisco damping
+//	rfdsim -pulses 5 -rcn                     # RCN-enhanced damping
+//	rfdsim -topology internet -nodes 208 -policy novalley -pulses 3
+//	rfdsim -damping off -pulses 3             # plain BGP baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+	"rfd/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfdsim", flag.ContinueOnError)
+	var (
+		topo      = fs.String("topology", "mesh", "topology family: mesh | internet | ring | line")
+		rows      = fs.Int("rows", 10, "mesh rows")
+		cols      = fs.Int("cols", 10, "mesh cols")
+		nodes     = fs.Int("nodes", 100, "node count for internet/ring/line topologies")
+		isp       = fs.Int("isp", -1, "ispAS node id (default: 0 for mesh, nodes/2 otherwise)")
+		pulses    = fs.Int("pulses", 1, "number of (withdrawal, announcement) pulses")
+		interval  = fs.Duration("interval", experiment.DefaultFlapInterval, "flapping interval")
+		damp      = fs.String("damping", "cisco", "damping parameters: off | cisco | juniper")
+		rcnOn     = fs.Bool("rcn", false, "enable RCN-enhanced damping")
+		policy    = fs.String("policy", "shortest", "routing policy: shortest | novalley")
+		mrai      = fs.Duration("mrai", 30*time.Second, "minimum route advertisement interval (0 disables)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		verbose   = fs.Bool("v", false, "print the update series summary")
+		traceFile = fs.String("trace", "", "write a JSONL event trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, defaultISP, err := buildTopology(*topo, *rows, *cols, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+	ispID := topology.NodeID(*isp)
+	if *isp < 0 {
+		ispID = defaultISP
+	}
+
+	cfg := bgp.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.MRAI = *mrai
+	switch *damp {
+	case "off":
+	case "cisco":
+		params := damping.Cisco()
+		cfg.Damping = &params
+	case "juniper":
+		params := damping.Juniper()
+		cfg.Damping = &params
+	default:
+		return fmt.Errorf("unknown -damping %q", *damp)
+	}
+	cfg.EnableRCN = *rcnOn
+	switch *policy {
+	case "shortest":
+		cfg.Policy = bgp.ShortestPath
+	case "novalley":
+		cfg.Policy = bgp.NoValley
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+
+	sc := experiment.Scenario{
+		Graph:        g,
+		ISP:          ispID,
+		Config:       cfg,
+		Pulses:       *pulses,
+		FlapInterval: *interval,
+	}
+	if *traceFile != "" {
+		sc.Trace = trace.NewLog(0)
+	}
+	start := time.Now()
+	res, err := experiment.Run(sc)
+	if err != nil {
+		return err
+	}
+	if sc.Trace != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := sc.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace             %d events -> %s (%d dropped)\n",
+			sc.Trace.Len(), *traceFile, sc.Trace.Dropped())
+	}
+
+	fmt.Printf("topology          %s (isp=%d, origin=%d)\n", g, res.ISP, res.Origin)
+	fmt.Printf("workload          %d pulses, %v interval\n", res.Pulses, *interval)
+	fmt.Printf("damping           %s (rcn=%t, policy=%s, mrai=%v)\n", *damp, *rcnOn, cfg.Policy, *mrai)
+	fmt.Printf("convergence time  %.0f s\n", res.ConvergenceTime.Seconds())
+	fmt.Printf("message count     %d\n", res.MessageCount)
+	fmt.Printf("damped links max  %d\n", res.MaxDamped)
+	fmt.Printf("origin suppressed %t\n", res.OriginSuppressed)
+	fmt.Printf("reuses            %d noisy, %d silent\n", res.NoisyReuses, res.SilentReuses)
+	fmt.Printf("phases            %s\n", res.Phases)
+	fmt.Printf("wall time         %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *verbose {
+		fmt.Println("\nupdate series (60 s bins):")
+		for _, bin := range res.Updates.Bins(0, res.EndTime, time.Minute) {
+			if bin.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %6.0fs %5d updates, %3d links damped\n",
+				bin.Start.Seconds(), bin.Count, res.Damped.ValueAt(bin.Start))
+		}
+	}
+	return nil
+}
+
+// buildTopology constructs the requested base graph and its default ispAS.
+func buildTopology(kind string, rows, cols, nodes int, seed uint64) (*topology.Graph, topology.NodeID, error) {
+	switch kind {
+	case "mesh":
+		g, err := topology.Torus(rows, cols)
+		return g, 0, err
+	case "internet":
+		g, err := topology.InternetDerived(topology.DefaultInternetConfig(nodes, seed))
+		return g, topology.NodeID(nodes / 2), err
+	case "ring":
+		g, err := topology.Ring(nodes)
+		return g, 0, err
+	case "line":
+		g, err := topology.Line(nodes)
+		return g, 0, err
+	default:
+		return nil, 0, fmt.Errorf("unknown -topology %q", kind)
+	}
+}

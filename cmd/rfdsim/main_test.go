@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallScenario(t *testing.T) {
+	args := []string{"-rows", "4", "-cols", "4", "-pulses", "1"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-damping", "off"},
+		{"-rows", "4", "-cols", "4", "-pulses", "2", "-damping", "juniper", "-v"},
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-rcn"},
+		{"-topology", "ring", "-nodes", "10", "-pulses", "1"},
+		{"-topology", "line", "-nodes", "5", "-pulses", "0"},
+		{"-topology", "internet", "-nodes", "20", "-pulses", "1", "-policy", "novalley"},
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-mrai", "0s"},
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-isp", "3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-rows", "4", "-cols", "4", "-pulses", "1", "-damping", "off", "-trace", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty trace file")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "moebius"},
+		{"-damping", "huawei"},
+		{"-policy", "chaos"},
+		{"-topology", "ring", "-nodes", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}

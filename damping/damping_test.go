@@ -1,0 +1,223 @@
+package damping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCiscoPreset pins Table 1 of the paper (Cisco column).
+func TestCiscoPreset(t *testing.T) {
+	p := Cisco()
+	if p.WithdrawalPenalty != 1000 {
+		t.Errorf("P_W = %v, want 1000", p.WithdrawalPenalty)
+	}
+	if p.ReannouncementPenalty != 0 {
+		t.Errorf("P_A = %v, want 0", p.ReannouncementPenalty)
+	}
+	if p.AttrChangePenalty != 500 {
+		t.Errorf("attr change = %v, want 500", p.AttrChangePenalty)
+	}
+	if p.CutoffThreshold != 2000 {
+		t.Errorf("P_cut = %v, want 2000", p.CutoffThreshold)
+	}
+	if p.ReuseThreshold != 750 {
+		t.Errorf("P_reuse = %v, want 750", p.ReuseThreshold)
+	}
+	if p.HalfLife != 15*time.Minute {
+		t.Errorf("H = %v, want 15m", p.HalfLife)
+	}
+	if p.MaxHoldDown != 60*time.Minute {
+		t.Errorf("max hold-down = %v, want 60m", p.MaxHoldDown)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJuniperPreset pins Table 1 of the paper (Juniper column).
+func TestJuniperPreset(t *testing.T) {
+	p := Juniper()
+	if p.WithdrawalPenalty != 1000 || p.ReannouncementPenalty != 1000 ||
+		p.AttrChangePenalty != 500 || p.CutoffThreshold != 3000 ||
+		p.ReuseThreshold != 750 || p.HalfLife != 15*time.Minute ||
+		p.MaxHoldDown != 60*time.Minute {
+		t.Fatalf("Juniper preset deviates from Table 1: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := Cisco()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative withdrawal penalty", func(p *Params) { p.WithdrawalPenalty = -1 }},
+		{"negative reannouncement penalty", func(p *Params) { p.ReannouncementPenalty = -1 }},
+		{"negative attr penalty", func(p *Params) { p.AttrChangePenalty = -1 }},
+		{"zero reuse threshold", func(p *Params) { p.ReuseThreshold = 0 }},
+		{"cutoff below reuse", func(p *Params) { p.CutoffThreshold = 500 }},
+		{"cutoff equals reuse", func(p *Params) { p.CutoffThreshold = p.ReuseThreshold }},
+		{"zero half life", func(p *Params) { p.HalfLife = 0 }},
+		{"zero hold down", func(p *Params) { p.MaxHoldDown = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := base
+			c.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("%+v accepted", p)
+			}
+		})
+	}
+}
+
+func TestLambdaMatchesHalfLife(t *testing.T) {
+	p := Cisco()
+	// After exactly one half-life the penalty must halve.
+	got := p.Decay(1000, p.HalfLife)
+	if math.Abs(got-500) > 1e-6 {
+		t.Fatalf("decay over one half-life: %v, want 500", got)
+	}
+	// λ = ln2/H with H = 900 s.
+	if want := math.Ln2 / 900; math.Abs(p.Lambda()-want) > 1e-12 {
+		t.Fatalf("lambda = %v, want %v", p.Lambda(), want)
+	}
+}
+
+func TestDecayEdgeCases(t *testing.T) {
+	p := Cisco()
+	if got := p.Decay(1000, 0); got != 1000 {
+		t.Fatalf("zero elapsed changed penalty: %v", got)
+	}
+	if got := p.Decay(1000, -time.Second); got != 1000 {
+		t.Fatalf("negative elapsed changed penalty: %v", got)
+	}
+	if got := p.Decay(0, time.Hour); got != 0 {
+		t.Fatalf("zero penalty decayed to %v", got)
+	}
+	if got := p.Decay(-5, time.Hour); got != 0 {
+		t.Fatalf("negative penalty returned %v, want 0", got)
+	}
+}
+
+// TestMaxPenaltyIs12000 pins the Section 5.2 observation: a one-hour
+// suppression corresponds to a penalty of 12000 under Cisco defaults, which
+// is exactly the ceiling implied by the max hold-down time.
+func TestMaxPenaltyIs12000(t *testing.T) {
+	p := Cisco()
+	if got := p.MaxPenalty(); math.Abs(got-12000) > 1e-6 {
+		t.Fatalf("MaxPenalty = %v, want 12000", got)
+	}
+}
+
+func TestReuseDelayFormula(t *testing.T) {
+	p := Cisco()
+	// From the paper (Section 3): with Cisco defaults, r for a penalty just
+	// over the cutoff (2000) is ln(2000/750)/λ ≈ 21.2 minutes — "at least 20
+	// minutes".
+	r := p.ReuseDelay(2000)
+	if r < 20*time.Minute || r > 22*time.Minute {
+		t.Fatalf("ReuseDelay(2000) = %v, want ≈21.2m", r)
+	}
+	// Already below threshold: no delay.
+	if p.ReuseDelay(750) != 0 {
+		t.Fatal("ReuseDelay at threshold should be 0")
+	}
+	if p.ReuseDelay(100) != 0 {
+		t.Fatal("ReuseDelay below threshold should be 0")
+	}
+	// Ceiling: the maximum penalty must produce exactly the max hold-down.
+	if got := p.ReuseDelay(p.MaxPenalty()); got != p.MaxHoldDown {
+		t.Fatalf("ReuseDelay(max) = %v, want %v", got, p.MaxHoldDown)
+	}
+	// Beyond the ceiling still capped.
+	if got := p.ReuseDelay(1e9); got != p.MaxHoldDown {
+		t.Fatalf("ReuseDelay(huge) = %v, want cap %v", got, p.MaxHoldDown)
+	}
+}
+
+// TestReuseDelayInverseOfDecay checks the property r(p) satisfies
+// Decay(p, r(p)) == Preuse for penalties between reuse and ceiling.
+func TestReuseDelayInverseOfDecay(t *testing.T) {
+	p := Cisco()
+	f := func(raw uint16) bool {
+		pen := p.ReuseThreshold + math.Mod(float64(raw), p.MaxPenalty()-p.ReuseThreshold)
+		r := p.ReuseDelay(pen)
+		got := p.Decay(pen, r)
+		return math.Abs(got-p.ReuseThreshold) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementTable(t *testing.T) {
+	p := Cisco()
+	cases := []struct {
+		kind Kind
+		want float64
+	}{
+		{KindInitial, 0},
+		{KindWithdrawal, 1000},
+		{KindReannouncement, 0},
+		{KindAttrChange, 500},
+		{KindDuplicate, 0},
+		{Kind(0), 0},
+		{Kind(99), 0},
+	}
+	for _, c := range cases {
+		if got := p.Increment(c.kind); got != c.want {
+			t.Errorf("Increment(%v) = %v, want %v", c.kind, got, c.want)
+		}
+	}
+	// Juniper charges re-announcements.
+	if got := Juniper().Increment(KindReannouncement); got != 1000 {
+		t.Errorf("Juniper re-announcement = %v, want 1000", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindInitial:        "initial",
+		KindWithdrawal:     "withdrawal",
+		KindReannouncement: "re-announcement",
+		KindAttrChange:     "attribute-change",
+		KindDuplicate:      "duplicate",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind String = %q", Kind(42).String())
+	}
+}
+
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name                                          string
+		isWithdrawal, routePresent, everPresent, diff bool
+		want                                          Kind
+	}{
+		{"withdraw present route", true, true, true, false, KindWithdrawal},
+		{"withdraw absent route", true, false, true, false, KindDuplicate},
+		{"withdraw never-present route", true, false, false, false, KindDuplicate},
+		{"first announcement", false, false, false, false, KindInitial},
+		{"re-announcement", false, false, true, false, KindReannouncement},
+		{"attr change", false, true, true, true, KindAttrChange},
+		{"duplicate announcement", false, true, true, false, KindDuplicate},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Classify(c.isWithdrawal, c.routePresent, c.everPresent, c.diff)
+			if got != c.want {
+				t.Fatalf("Classify = %v, want %v", got, c.want)
+			}
+		})
+	}
+}

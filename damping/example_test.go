@@ -1,0 +1,66 @@
+package damping_test
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/damping"
+)
+
+// Example walks one (peer, prefix) damping state through the paper's
+// three-pulse workload: the third withdrawal pushes the penalty over the
+// Cisco cut-off and suppresses the route for roughly 26 minutes.
+func Example() {
+	st := damping.NewState(damping.Cisco())
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+
+	events := []struct {
+		at   time.Duration
+		kind damping.Kind
+	}{
+		{sec(0), damping.KindWithdrawal},
+		{sec(60), damping.KindReannouncement},
+		{sec(120), damping.KindWithdrawal},
+		{sec(180), damping.KindReannouncement},
+		{sec(240), damping.KindWithdrawal},
+	}
+	for _, e := range events {
+		ev := st.Update(e.at, e.kind, true)
+		fmt.Printf("%4.0fs %-16s penalty %4.0f suppressed=%t\n",
+			e.at.Seconds(), ev.Kind, ev.Penalty, ev.Suppressed)
+	}
+	// Output:
+	//    0s withdrawal       penalty 1000 suppressed=false
+	//   60s re-announcement  penalty  955 suppressed=false
+	//  120s withdrawal       penalty 1912 suppressed=false
+	//  180s re-announcement  penalty 1825 suppressed=false
+	//  240s withdrawal       penalty 2743 suppressed=true
+}
+
+// ExampleParams_ReuseDelay shows the Section 3 reuse delay: a freshly
+// suppressed route (penalty just over the cut-off) stays down for about 21
+// minutes under Cisco defaults.
+func ExampleParams_ReuseDelay() {
+	p := damping.Cisco()
+	fmt.Println(p.ReuseDelay(2000).Round(time.Minute))
+	fmt.Println(p.ReuseDelay(p.MaxPenalty()))
+	// Output:
+	// 21m0s
+	// 1h0m0s
+}
+
+// ExampleReplay evaluates damping parameters offline against a recorded
+// flap history.
+func ExampleReplay() {
+	updates := []damping.TimedUpdate{
+		{At: 0, Kind: damping.KindWithdrawal},
+		{At: 30 * time.Second, Kind: damping.KindReannouncement},
+		{At: 60 * time.Second, Kind: damping.KindWithdrawal},
+		{At: 90 * time.Second, Kind: damping.KindReannouncement},
+		{At: 120 * time.Second, Kind: damping.KindWithdrawal},
+	}
+	res, _ := damping.Replay(damping.Cisco(), updates)
+	fmt.Printf("suppressions: %d, max penalty: %.0f\n", res.Suppressions, res.MaxPenalty)
+	// Output:
+	// suppressions: 1, max penalty: 2867
+}

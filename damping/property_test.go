@@ -1,0 +1,124 @@
+package damping
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// applyBurst drives a fresh state with n withdrawal/announce cycles at the
+// given spacing and returns the event index of suppression onset (0 if
+// never).
+func suppressionEventIndex(params Params, cycles int, spacing time.Duration) int {
+	st := NewState(params)
+	now := time.Duration(0)
+	for i := 0; i < cycles; i++ {
+		if ev := st.Update(now, KindWithdrawal, true); ev.BecameSuppressed {
+			return 2*i + 1
+		}
+		now += spacing
+		if ev := st.Update(now, KindReannouncement, true); ev.BecameSuppressed {
+			return 2*i + 2
+		}
+		now += spacing
+	}
+	return 0
+}
+
+// TestQuickHigherCutoffNeverSuppressesEarlier: raising the cut-off can only
+// delay (or prevent) suppression, never hasten it.
+func TestQuickHigherCutoffMonotone(t *testing.T) {
+	f := func(extraRaw uint8, spacingRaw uint8) bool {
+		spacing := time.Duration(int(spacingRaw)+1) * time.Second
+		base := Cisco()
+		raised := base
+		raised.CutoffThreshold += float64(extraRaw) * 10
+		a := suppressionEventIndex(base, 8, spacing)
+		b := suppressionEventIndex(raised, 8, spacing)
+		switch {
+		case a == 0:
+			return b == 0 // base never suppressed ⇒ raised cannot either
+		case b == 0:
+			return true // raised never suppressed: fine
+		default:
+			return b >= a
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLongerHalfLifeLongerReuse: a slower decay can only lengthen the
+// reuse delay for the same penalty.
+func TestQuickLongerHalfLifeLongerReuse(t *testing.T) {
+	f := func(penRaw uint16, extraMinutes uint8) bool {
+		base := Cisco()
+		slow := base
+		slow.HalfLife += time.Duration(extraMinutes) * time.Minute
+		pen := 800 + float64(penRaw%10000)
+		return slow.ReuseDelay(pen) >= base.ReuseDelay(pen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecayMonotoneInTime: penalty never increases while decaying.
+func TestQuickDecayMonotone(t *testing.T) {
+	p := Cisco()
+	f := func(penRaw uint16, aRaw, bRaw uint16) bool {
+		pen := float64(penRaw)
+		a := time.Duration(aRaw) * time.Second
+		b := a + time.Duration(bRaw)*time.Second
+		return p.Decay(pen, b) <= p.Decay(pen, a)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSuppressionRequiresCutoff: a state whose penalty never reached
+// the cut-off is never suppressed, across random update mixes.
+func TestQuickSuppressionRequiresCutoff(t *testing.T) {
+	params := Cisco()
+	f := func(kinds []uint8) bool {
+		st := NewState(params)
+		now := time.Duration(0)
+		maxPen := 0.0
+		for _, kRaw := range kinds {
+			now += time.Second
+			ev := st.Update(now, Kind(int(kRaw)%5)+1, true)
+			if ev.Penalty > maxPen {
+				maxPen = ev.Penalty
+			}
+		}
+		if maxPen <= params.CutoffThreshold {
+			return !st.Suppressed()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVendorOrdering: for an identical pulse burst, Juniper (which charges
+// announcements) accumulates at least Cisco's penalty.
+func TestVendorPenaltyOrdering(t *testing.T) {
+	cisco := NewState(Cisco())
+	juniper := NewState(Juniper())
+	now := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		kind := KindWithdrawal
+		if i%2 == 1 {
+			kind = KindReannouncement
+		}
+		cp := cisco.Update(now, kind, true).Penalty
+		jp := juniper.Update(now, kind, true).Penalty
+		if jp < cp {
+			t.Fatalf("event %d: Juniper penalty %v < Cisco %v", i, jp, cp)
+		}
+		now += 30 * time.Second
+	}
+}

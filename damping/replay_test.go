@@ -1,0 +1,193 @@
+package damping
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func pulses3() []TimedUpdate {
+	// The paper's 3-pulse workload at 60 s interval.
+	return []TimedUpdate{
+		{At: 0, Kind: KindWithdrawal},
+		{At: 60 * time.Second, Kind: KindReannouncement},
+		{At: 120 * time.Second, Kind: KindWithdrawal},
+		{At: 180 * time.Second, Kind: KindReannouncement},
+		{At: 240 * time.Second, Kind: KindWithdrawal},
+		{At: 300 * time.Second, Kind: KindReannouncement},
+	}
+}
+
+func TestReplayThreePulses(t *testing.T) {
+	res, err := Replay(Cisco(), pulses3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Suppressions != 1 {
+		t.Fatalf("suppressions = %d, want 1", res.Suppressions)
+	}
+	// Suppression at the 5th update (3rd withdrawal).
+	if !res.Points[4].BecameSuppressed {
+		t.Fatal("3rd withdrawal did not suppress")
+	}
+	if res.MaxPenalty < 2700 || res.MaxPenalty > 2800 {
+		t.Fatalf("max penalty %v, want ≈2744", res.MaxPenalty)
+	}
+	// Reuse ≈ 26-27 min after the last charge.
+	if res.FinalReuseAt < 20*time.Minute || res.FinalReuseAt > 40*time.Minute {
+		t.Fatalf("final reuse at %v", res.FinalReuseAt)
+	}
+	if res.SuppressedTotal <= 0 {
+		t.Fatal("no suppressed time accumulated")
+	}
+}
+
+func TestReplayNoSuppression(t *testing.T) {
+	res, err := Replay(Cisco(), []TimedUpdate{
+		{At: 0, Kind: KindWithdrawal},
+		{At: time.Minute, Kind: KindReannouncement},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressions != 0 || res.SuppressedTotal != 0 || res.FinalReuseAt != 0 {
+		t.Fatalf("phantom suppression: %+v", res)
+	}
+}
+
+func TestReplayMidStreamReuse(t *testing.T) {
+	// Suppress, then a 3-hour gap (reuse fires), then one more withdrawal:
+	// two suppression periods never happen (one withdrawal can't re-suppress),
+	// and the suppressed total only covers the first episode.
+	updates := []TimedUpdate{
+		{At: 0, Kind: KindWithdrawal},
+		{At: time.Second, Kind: KindReannouncement},
+		{At: 2 * time.Second, Kind: KindWithdrawal},
+		{At: 3 * time.Second, Kind: KindReannouncement},
+		{At: 4 * time.Second, Kind: KindWithdrawal},
+		{At: 3 * time.Hour, Kind: KindWithdrawal},
+	}
+	res, err := Replay(Cisco(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressions != 1 {
+		t.Fatalf("suppressions = %d", res.Suppressions)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Suppressed {
+		t.Fatal("still suppressed after mid-stream reuse")
+	}
+	if res.SuppressedTotal > time.Hour {
+		t.Fatalf("suppressed total %v exceeds max hold-down", res.SuppressedTotal)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	bad := Cisco()
+	bad.HalfLife = 0
+	if _, err := Replay(bad, nil); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	outOfOrder := []TimedUpdate{
+		{At: time.Minute, Kind: KindWithdrawal},
+		{At: time.Second, Kind: KindWithdrawal},
+	}
+	if _, err := Replay(Cisco(), outOfOrder); err == nil {
+		t.Fatal("out-of-order updates accepted")
+	}
+}
+
+func TestParseUpdateLog(t *testing.T) {
+	log := `
+# a flap history
+0 withdrawal
+60 announcement
+120 w
+180 a
+240 withdrawal
+300 announce
+`
+	updates, err := ParseUpdateLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 6 {
+		t.Fatalf("parsed %d updates", len(updates))
+	}
+	// First announcement after a withdrawal with no prior route is initial;
+	// wait — the route was never present, so the first withdrawal is a
+	// duplicate and the first announcement initial.
+	if updates[0].Kind != KindDuplicate {
+		t.Fatalf("first withdrawal classified %v", updates[0].Kind)
+	}
+	if updates[1].Kind != KindInitial {
+		t.Fatalf("first announcement classified %v", updates[1].Kind)
+	}
+	if updates[2].Kind != KindWithdrawal {
+		t.Fatalf("second withdrawal classified %v", updates[2].Kind)
+	}
+	if updates[3].Kind != KindReannouncement {
+		t.Fatalf("second announcement classified %v", updates[3].Kind)
+	}
+}
+
+func TestParseUpdateLogStartsWithRoute(t *testing.T) {
+	// An "initial" line seeds route state so later updates classify as the
+	// paper's pulses do.
+	log := "0 initial\n10 withdrawal\n20 announcement\n"
+	updates, err := ParseUpdateLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updates[1].Kind != KindWithdrawal || updates[2].Kind != KindReannouncement {
+		t.Fatalf("classification wrong: %v, %v", updates[1].Kind, updates[2].Kind)
+	}
+}
+
+func TestParseUpdateLogSortsByTime(t *testing.T) {
+	log := "60 announcement\n0 initial\n30 withdrawal\n"
+	updates, err := ParseUpdateLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updates[0].At != 0 || updates[2].At != 60*time.Second {
+		t.Fatal("not sorted")
+	}
+	// 0: initial; 30: withdrawal of present route; 60: re-announcement.
+	if updates[1].Kind != KindWithdrawal || updates[2].Kind != KindReannouncement {
+		t.Fatalf("classification after sort wrong: %+v", updates)
+	}
+}
+
+func TestParseUpdateLogErrors(t *testing.T) {
+	cases := []string{
+		"abc withdrawal\n",
+		"-5 withdrawal\n",
+		"0 frobnicate\n",
+		"0\n",
+		"0 w extra\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseUpdateLog(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q accepted", c)
+		}
+	}
+}
+
+func TestReplayAgainstAnalyticConsistency(t *testing.T) {
+	// Replay and the analytic Prediction share the State implementation;
+	// their final penalties must agree on the pulse workload.
+	res, err := Replay(Cisco(), pulses3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalPoint := res.Points[len(res.Points)-1]
+	// Closed form: see analytic tests; ≈2625 after the final announcement.
+	if finalPoint.Penalty < 2500 || finalPoint.Penalty > 2700 {
+		t.Fatalf("final penalty %v out of expected band", finalPoint.Penalty)
+	}
+}

@@ -1,0 +1,135 @@
+package damping
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event describes the outcome of feeding one update into a State.
+type Event struct {
+	// Kind is the update classification that was applied.
+	Kind Kind
+	// Increment is the penalty that was added (0 for initial/duplicate, or
+	// when a penalty filter such as RCN vetoed the charge).
+	Increment float64
+	// Penalty is the post-update penalty value.
+	Penalty float64
+	// Suppressed reports whether the route is suppressed after the update.
+	Suppressed bool
+	// BecameSuppressed reports whether this very update pushed the penalty
+	// over the cut-off threshold.
+	BecameSuppressed bool
+	// ReuseIn is how long from now until the penalty decays to the reuse
+	// threshold (0 when not suppressed).
+	ReuseIn time.Duration
+}
+
+// State is the damping state of one (peer, prefix) pair: the figure of merit
+// (penalty), its timestamp, and the suppression flag. Create with NewState.
+// State is not safe for concurrent use; in the simulator each router owns its
+// states, and a real BGP daemon would shard by peer.
+type State struct {
+	params     Params
+	penalty    float64
+	at         time.Duration // instant penalty was last materialized
+	suppressed bool
+}
+
+// NewState returns a fresh state (zero penalty, not suppressed) governed by
+// params. Params are copied; changing the caller's copy later has no effect.
+func NewState(params Params) *State {
+	return &State{params: params}
+}
+
+// Params returns the configuration the state was built with.
+func (s *State) Params() Params { return s.params }
+
+// Suppressed reports whether the route is currently suppressed.
+func (s *State) Suppressed() bool { return s.suppressed }
+
+// Penalty returns the decayed penalty value at the given instant. now must
+// not be earlier than the last update fed into the state; earlier values are
+// clamped (the penalty is simply not decayed).
+func (s *State) Penalty(now time.Duration) float64 {
+	return s.params.Decay(s.penalty, now-s.at)
+}
+
+// materialize folds decay up to now into the stored penalty.
+func (s *State) materialize(now time.Duration) {
+	if now > s.at {
+		s.penalty = s.params.Decay(s.penalty, now-s.at)
+		s.at = now
+	}
+}
+
+// Update feeds one classified update into the state at virtual time now and
+// returns the resulting Event. The increment may be vetoed by passing
+// charge=false (used by RCN-enhanced damping when the update's root cause has
+// been seen before — the update still flows to the routing decision, it just
+// does not add penalty; Section 6.2 of the paper).
+func (s *State) Update(now time.Duration, kind Kind, charge bool) Event {
+	s.materialize(now)
+	inc := 0.0
+	if charge {
+		inc = s.params.Increment(kind)
+	}
+	s.penalty += inc
+	if max := s.params.MaxPenalty(); s.penalty > max {
+		s.penalty = max
+	}
+	became := false
+	if !s.suppressed && s.penalty > s.params.CutoffThreshold {
+		s.suppressed = true
+		became = true
+	}
+	ev := Event{
+		Kind:             kind,
+		Increment:        inc,
+		Penalty:          s.penalty,
+		Suppressed:       s.suppressed,
+		BecameSuppressed: became,
+	}
+	if s.suppressed {
+		ev.ReuseIn = s.params.ReuseDelay(s.penalty)
+	}
+	return ev
+}
+
+// ReuseIn returns how long from now until the penalty decays to the reuse
+// threshold. Zero when the penalty is already at or below it.
+func (s *State) ReuseIn(now time.Duration) time.Duration {
+	return s.params.ReuseDelay(s.Penalty(now))
+}
+
+// TryReuse attempts to lift suppression at virtual time now. It succeeds
+// (and reports true) when the decayed penalty has reached the reuse
+// threshold. When it reports false the route stays suppressed — the caller's
+// reuse timer fired stale (e.g. the penalty was re-charged after the timer
+// was set) and should be re-armed for ReuseIn(now).
+func (s *State) TryReuse(now time.Duration) bool {
+	if !s.suppressed {
+		return true
+	}
+	s.materialize(now)
+	// Tolerate the sub-nanosecond rounding of ReuseDelay: a timer armed for
+	// exactly the reuse instant must succeed.
+	if s.penalty <= s.params.ReuseThreshold*(1+1e-9) {
+		s.suppressed = false
+		return true
+	}
+	return false
+}
+
+// Reset clears penalty and suppression. Real routers do this when a peer
+// session is cleared; experiments use it between scenario phases.
+func (s *State) Reset() {
+	s.penalty = 0
+	s.at = 0
+	s.suppressed = false
+}
+
+// String summarizes the state for diagnostics.
+func (s *State) String() string {
+	return fmt.Sprintf("damping.State{penalty: %.1f @ %v, suppressed: %t}",
+		s.penalty, s.at, s.suppressed)
+}

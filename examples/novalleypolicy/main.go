@@ -1,0 +1,66 @@
+// Novalleypolicy reproduces the Section 7 observation (Figure 15): the
+// no-valley routing policy — by pruning the alternate paths BGP may explore —
+// reduces false suppression and moves damping's convergence closer to its
+// intended behaviour, without fixing the problem entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+)
+
+func main() {
+	// An Internet-derived topology with customer-provider / peer-peer
+	// relationships (long-tailed degree distribution, valley-free
+	// hierarchy).
+	g, err := topology.InternetDerived(topology.DefaultInternetConfig(80, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := topology.ValleyFree(g); err != nil {
+		log.Fatal(err)
+	}
+
+	base := bgp.DefaultConfig()
+	params := damping.Cisco()
+	base.Damping = &params
+
+	run := func(policy bgp.Policy, pulses int) *experiment.Result {
+		cfg := base
+		cfg.Policy = policy
+		res, err := experiment.Run(experiment.Scenario{
+			Graph:  g,
+			ISP:    topology.NodeID(g.NumNodes() / 2),
+			Config: cfg,
+			Pulses: pulses,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("%d-node Internet-derived topology, full damping (Cisco)\n\n", g.NumNodes())
+	fmt.Println("pulses | shortest-path policy   | no-valley policy")
+	fmt.Println("       | conv(s) msgs  damped   | conv(s) msgs  damped")
+	fmt.Println("-------+------------------------+----------------------")
+	for _, n := range []int{1, 2, 3, 5} {
+		plain := run(bgp.ShortestPath, n)
+		policy := run(bgp.NoValley, n)
+		fmt.Printf("%6d | %7.0f %5d %6d  | %7.0f %5d %6d\n",
+			n,
+			plain.ConvergenceTime.Seconds(), plain.MessageCount, plain.MaxDamped,
+			policy.ConvergenceTime.Seconds(), policy.MessageCount, policy.MaxDamped)
+	}
+	fmt.Println()
+	fmt.Println("The policy regulates route export (no transit between non-customers),")
+	fmt.Println("which cuts the number of explored alternate paths: fewer exploration")
+	fmt.Println("updates, fewer falsely suppressed links, shorter convergence. But it")
+	fmt.Println("does not eliminate secondary charging — the affected nodes still")
+	fmt.Println("converge far later than the damping design intends (Section 7).")
+}

@@ -1,0 +1,71 @@
+// Rcncompare contrasts classic route flap damping with the paper's
+// RCN-enhanced damping (Section 6) across a range of flap counts — the data
+// behind Figures 13 and 14.
+//
+// With Root Cause Notification attached to every update, each physical flap
+// charges the damping penalty exactly once per (peer, prefix), so path
+// exploration cannot falsely suppress routes and route-reuse updates cannot
+// re-charge timers. Convergence then follows the intended single-router
+// model for every flap count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfd/analytic"
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+)
+
+func main() {
+	mesh, err := topology.Torus(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	classicCfg := bgp.DefaultConfig()
+	params := damping.Cisco()
+	classicCfg.Damping = &params
+
+	rcnCfg := classicCfg
+	rcnCfg.EnableRCN = true
+
+	classic := experiment.Scenario{Graph: mesh, ISP: 0, Config: classicCfg}
+	withRCN := experiment.Scenario{Graph: mesh, ISP: 0, Config: rcnCfg}
+
+	pulses := experiment.PulseRange(1, 6)
+	classicRes, err := experiment.Sweep(classic, pulses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rcnRes, err := experiment.Sweep(withRCN, pulses)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("36-node damped mesh, 60 s flapping interval, Cisco parameters")
+	fmt.Println()
+	fmt.Println("pulses | classic damping        | RCN-enhanced damping   | intended")
+	fmt.Println("       | conv(s) msgs  damped   | conv(s) msgs  damped   | conv(s)")
+	fmt.Println("-------+------------------------+------------------------+---------")
+	for i, n := range pulses {
+		c, r := classicRes[i].Result, rcnRes[i].Result
+		pred, err := analytic.PredictPulses(params, n, experiment.DefaultFlapInterval,
+			classicRes[0].Result.Phases.ChargingDuration())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d | %7.0f %5d %6d  | %7.0f %5d %6d  | %7.0f\n",
+			n,
+			c.ConvergenceTime.Seconds(), c.MessageCount, c.MaxDamped,
+			r.ConvergenceTime.Seconds(), r.MessageCount, r.MaxDamped,
+			pred.Convergence.Seconds())
+	}
+	fmt.Println()
+	fmt.Println("Classic damping overshoots the intended convergence badly for small")
+	fmt.Println("flap counts (false suppression + secondary charging); RCN tracks the")
+	fmt.Println("intended curve, at the cost of slightly more update messages.")
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want header + 7 rows", len(lines))
+	}
+	if lines[0] != "parameter,cisco,juniper" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), `"Cut-off Threshold (Pcut)",2000,3000`) {
+		t.Fatalf("missing cutoff row:\n%s", buf.String())
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	data, err := Fig3(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_s,penalty,cutoff,reuse" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Fatalf("only %d lines; expected a dense trace", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 3 {
+			t.Fatalf("row %q has %d commas", line, got)
+		}
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	data, err := Fig7(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# watched router") {
+		t.Fatalf("missing provenance comment:\n%s", out[:80])
+	}
+	if !strings.Contains(out, "time_s,penalty,cutoff,reuse") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestEvalCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full eval")
+	}
+	o := testOptions()
+	o.MaxPulses = 2
+	data, err := Eval(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"fig8":  func(b *bytes.Buffer) error { return data.WriteFig8CSV(b) },
+		"fig9":  func(b *bytes.Buffer) error { return data.WriteFig9CSV(b) },
+		"fig13": func(b *bytes.Buffer) error { return data.WriteFig13CSV(b) },
+		"fig14": func(b *bytes.Buffer) error { return data.WriteFig14CSV(b) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != o.MaxPulses+2 {
+			t.Fatalf("%s: %d lines, want header + %d rows", name, len(lines), o.MaxPulses+1)
+		}
+		if !strings.HasPrefix(lines[0], "pulses,") {
+			t.Fatalf("%s: header %q", name, lines[0])
+		}
+		if !strings.HasPrefix(lines[1], "0,") {
+			t.Fatalf("%s: first row %q", name, lines[1])
+		}
+	}
+}
+
+func TestFig10CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three damped runs")
+	}
+	data, err := Fig10(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "pulses,time_s,updates,damped_links") {
+		t.Fatal("missing header")
+	}
+	// All three runs present, in order.
+	i1 := strings.Index(out, "\n1,")
+	i3 := strings.Index(out, "\n3,")
+	i5 := strings.Index(out, "\n5,")
+	if i1 < 0 || i3 < 0 || i5 < 0 || !(i1 < i3 && i3 < i5) {
+		t.Fatalf("runs missing or out of order: %d %d %d", i1, i3, i5)
+	}
+}
+
+func TestFig15CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy sweeps")
+	}
+	o := testOptions()
+	o.MaxPulses = 1
+	data, err := Fig15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pulses,with_policy_s,no_policy_s,intended_s") {
+		t.Fatal("missing header")
+	}
+}

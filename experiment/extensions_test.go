@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPartialDeploymentSweep(t *testing.T) {
+	o := testOptions()
+	rows, err := PartialDeployment(o, []int{0, 50, 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// 0 %: no damping at all — fast convergence, nothing damped.
+	if rows[0].MaxDamped != 0 {
+		t.Fatalf("0%% deployment damped %d links", rows[0].MaxDamped)
+	}
+	if rows[0].Conv > 10*time.Minute {
+		t.Fatalf("0%% deployment convergence %v", rows[0].Conv)
+	}
+	// 100 %: full damping — slow convergence, many damped links.
+	if rows[2].MaxDamped == 0 {
+		t.Fatal("100% deployment damped nothing")
+	}
+	if rows[2].Conv < rows[0].Conv {
+		t.Fatal("full damping converged faster than no damping")
+	}
+	// Damped-link peak grows with deployment.
+	if rows[1].MaxDamped > rows[2].MaxDamped {
+		t.Fatalf("50%% deployment damped more than 100%%: %d vs %d",
+			rows[1].MaxDamped, rows[2].MaxDamped)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeploymentCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "deployment_pct,") {
+		t.Fatal("bad CSV header")
+	}
+}
+
+func TestPartialDeploymentValidatesPercent(t *testing.T) {
+	if _, err := PartialDeployment(testOptions(), []int{150}, 1); err == nil {
+		t.Fatal("percent 150 accepted")
+	}
+}
+
+func TestFilterComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three sweeps")
+	}
+	o := testOptions()
+	rows, err := FilterComparison(o, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rows[0]
+	// At one pulse: RCN damps nothing; selective damps less than classic;
+	// classic converges far above intended.
+	if r1.RCNDamped != 0 {
+		t.Fatalf("RCN damped %d at n=1", r1.RCNDamped)
+	}
+	if r1.SelDamped >= r1.ClassicDamped {
+		t.Fatalf("selective did not reduce false suppression: %d vs %d",
+			r1.SelDamped, r1.ClassicDamped)
+	}
+	if r1.SelDamped == 0 {
+		t.Fatal("selective eliminated all false suppression — heuristic too strong to show the paper's gap")
+	}
+	if r1.Classic < 4*r1.Intended {
+		t.Fatalf("classic %v vs intended %v: expected large deviation", r1.Classic, r1.Intended)
+	}
+	// RCN tracks intended everywhere.
+	for _, r := range rows {
+		diff := r.RCN - r.Intended
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 10*time.Minute {
+			t.Fatalf("n=%d: RCN %v deviates from intended %v", r.Pulses, r.RCN, r.Intended)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFilterCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "pulses,classic_s,selective_s,rcn_s,intended_s") {
+		t.Fatal("bad CSV header")
+	}
+}
+
+func TestFlapIntervalSweep(t *testing.T) {
+	o := testOptions()
+	rows, err := FlapIntervalSweep(o, []time.Duration{
+		30 * time.Second, 60 * time.Second, 30 * time.Minute,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast flapping (30/60 s) suppresses the origin link at 3 pulses; very
+	// slow flapping (30 min between events) lets the penalty decay and must
+	// not.
+	if !rows[0].OriginSuppressed || !rows[1].OriginSuppressed {
+		t.Fatal("fast flapping did not suppress the origin link")
+	}
+	if rows[2].OriginSuppressed {
+		t.Fatal("slow flapping suppressed the origin link despite decay")
+	}
+	var buf bytes.Buffer
+	if err := WriteIntervalCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "origin_suppressed") {
+		t.Fatal("bad CSV header")
+	}
+}
+
+func TestTopologySizeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple mesh sizes")
+	}
+	o := testOptions()
+	rows, err := TopologySizeSweep(o, []int{4, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Nodes != 16 || rows[1].Nodes != 36 {
+		t.Fatalf("node counts %d, %d", rows[0].Nodes, rows[1].Nodes)
+	}
+	// Bigger networks amplify one pulse into more updates and more damped
+	// links.
+	if rows[1].Msgs <= rows[0].Msgs {
+		t.Fatalf("larger mesh produced fewer updates: %d vs %d", rows[1].Msgs, rows[0].Msgs)
+	}
+	if rows[1].MaxDamped <= rows[0].MaxDamped {
+		t.Fatalf("larger mesh damped fewer links: %d vs %d", rows[1].MaxDamped, rows[0].MaxDamped)
+	}
+	var buf bytes.Buffer
+	if err := WriteSizeCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "nodes,") {
+		t.Fatal("bad CSV header")
+	}
+}

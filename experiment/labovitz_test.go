@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestConvergenceEventsOrdering(t *testing.T) {
+	rows, err := ConvergenceEvents(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("events = %d", len(rows))
+	}
+	byName := map[string]EventMeasurement{}
+	for _, r := range rows {
+		byName[r.Event] = r
+	}
+	for _, name := range []string{"Tup", "Tdown", "Tlong", "Tshort"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing event %s", name)
+		}
+		if r.Messages == 0 {
+			t.Fatalf("%s triggered no updates", name)
+		}
+	}
+	// Labovitz's result: bad news (Tdown, Tlong) is much slower than good
+	// news (Tup, Tshort) because of path exploration.
+	if byName["Tdown"].Convergence <= byName["Tup"].Convergence {
+		t.Fatalf("Tdown (%v) not slower than Tup (%v)",
+			byName["Tdown"].Convergence, byName["Tup"].Convergence)
+	}
+	if byName["Tlong"].Convergence <= byName["Tshort"].Convergence {
+		t.Fatalf("Tlong (%v) not slower than Tshort (%v)",
+			byName["Tlong"].Convergence, byName["Tshort"].Convergence)
+	}
+	// And bad news costs more messages, too.
+	if byName["Tdown"].Messages <= byName["Tup"].Messages {
+		t.Fatalf("Tdown (%d msgs) not costlier than Tup (%d msgs)",
+			byName["Tdown"].Messages, byName["Tup"].Messages)
+	}
+}
+
+func TestConvergenceEventsCSV(t *testing.T) {
+	rows := []EventMeasurement{{Event: "Tup", Messages: 5}}
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "event,convergence_s,messages\nTup,0,5\n" {
+		t.Fatalf("CSV = %q", buf.String())
+	}
+}

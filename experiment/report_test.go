@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	o := testOptions()
+	o.MaxPulses = 2
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Route Flap Damping — reproduction report",
+		"## Table 1",
+		"## Figures 8 & 13",
+		"## Figures 9 & 14",
+		"## Figure 10",
+		"## Figure 15",
+		"## Penalty filters",
+		"## Partial deployment",
+		"## Plain-BGP convergence baseline",
+		"| Withdrawal Penalty (PW) | 1000 | 1000 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Every pulses row of the eval tables present.
+	for _, row := range []string{"| 0 |", "| 1 |", "| 2 |"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("report missing row %q", row)
+		}
+	}
+}

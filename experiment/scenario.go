@@ -1,0 +1,318 @@
+// Package experiment assembles the paper's simulation methodology
+// (Section 5.1) on top of the bgp engine and regenerates every table and
+// figure of the evaluation:
+//
+//   - a base topology (mesh or Internet-derived) with a randomly chosen
+//     ispAS and an attached originAS (Figure 1);
+//   - a warm-up phase in which every node learns a stable route, after
+//     which damping state and counters are cleared;
+//   - a pulse workload: n × (withdrawal, announcement) at a fixed flapping
+//     interval, the final update always an announcement;
+//   - measurement of convergence time (from the final announcement to the
+//     last update observed) and message count (total updates delivered from
+//     the first flap), plus the update series, damped-link-count series,
+//     penalty traces and phase decomposition used by Figs 3, 7–10, 13–15.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/bgp"
+	"rfd/metrics"
+	"rfd/sim"
+	"rfd/topology"
+	"rfd/trace"
+)
+
+// FlapPrefix is the destination originated by the originAS in every
+// scenario.
+const FlapPrefix = bgp.Prefix("origin/8")
+
+// DefaultFlapInterval is the paper's flapping interval (Section 5.1).
+const DefaultFlapInterval = 60 * time.Second
+
+// PenaltyWatch selects one (router, peer) damping state whose penalty trace
+// the run should record (Figs 3 and 7).
+type PenaltyWatch struct {
+	Router, Peer bgp.RouterID
+}
+
+// Scenario describes one simulation run. Graph is the base topology; Run
+// clones it and attaches the originAS to ISP, so the caller's graph is never
+// modified.
+type Scenario struct {
+	// Graph is the base topology (without the originAS).
+	Graph *topology.Graph
+	// ISP is the node the originAS attaches to.
+	ISP topology.NodeID
+	// Config is the protocol configuration for every router.
+	Config bgp.Config
+	// Pulses is the number of (withdrawal, announcement) pairs. Zero means
+	// no flapping at all.
+	Pulses int
+	// FlapInterval separates consecutive flap events
+	// (DefaultFlapInterval when zero).
+	FlapInterval time.Duration
+	// FlapViaLink, when true, flaps the physical originAS–ispAS link
+	// (Network.SetLinkState) instead of toggling origination — the paper's
+	// literal failure model. Both endpoints then stamp updates with link
+	// root causes when RCN is enabled. The default origination toggle is
+	// behaviourally equivalent and slightly cheaper.
+	FlapViaLink bool
+	// Watch lists damping states whose penalty traces to record. Router IDs
+	// refer to the base graph; use OriginID() for the attached origin.
+	Watch []PenaltyWatch
+	// Trace, when non-nil, records every flap-phase event into the log
+	// (times are flap-relative, like all Result times).
+	Trace *trace.Log
+}
+
+// OriginID returns the router ID the attached originAS will receive: the
+// node appended to the base graph.
+func (s Scenario) OriginID() bgp.RouterID {
+	return bgp.RouterID(s.Graph.NumNodes())
+}
+
+// validate checks the scenario before running.
+func (s Scenario) validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("experiment: nil graph")
+	}
+	if s.Graph.NumNodes() == 0 {
+		return fmt.Errorf("experiment: empty graph")
+	}
+	if int(s.ISP) < 0 || int(s.ISP) >= s.Graph.NumNodes() {
+		return fmt.Errorf("experiment: ISP %d out of range", s.ISP)
+	}
+	if s.Pulses < 0 {
+		return fmt.Errorf("experiment: negative pulse count %d", s.Pulses)
+	}
+	if s.FlapInterval < 0 {
+		return fmt.Errorf("experiment: negative flap interval %v", s.FlapInterval)
+	}
+	return s.Config.Validate()
+}
+
+// Result captures everything a single run measured.
+type Result struct {
+	// Pulses echoes the workload size.
+	Pulses int
+	// Origin and ISP are the router IDs in the run's (cloned) topology.
+	Origin, ISP bgp.RouterID
+	// FlapStart is the time of the first withdrawal and FlapEnd the time of
+	// the final announcement. All Result times share one clock whose zero is
+	// the first flap (so FlapStart is 0 whenever Pulses > 0), matching the
+	// paper's figure axes.
+	FlapStart, FlapEnd time.Duration
+	// ConvergenceTime is the paper's metric: last update delivery minus
+	// FlapEnd (zero when nothing followed the final announcement).
+	ConvergenceTime time.Duration
+	// MessageCount is the total number of updates delivered network-wide
+	// from the first flap on.
+	MessageCount int
+	// Updates records every update delivery time (basis of Fig 10's 5 s
+	// series).
+	Updates *metrics.EventSeries
+	// Damped tracks the number of suppressed (router, peer) states over
+	// time (Fig 10's damped-link count).
+	Damped *metrics.StepSeries
+	// MaxDamped is the peak damped-link count.
+	MaxDamped int
+	// NoisyReuses / SilentReuses count reuse-timer outcomes (Section 4.2).
+	NoisyReuses, SilentReuses int
+	// NoisyReuseTimes records when noisy reuses fired (phase analysis).
+	NoisyReuseTimes *metrics.EventSeries
+	// Phases is the four-state decomposition of the episode.
+	Phases metrics.Phases
+	// OriginSuppressed reports whether the ispAS ever suppressed the origin
+	// link during the flap phase.
+	OriginSuppressed bool
+	// PenaltyTraces holds the recorded traces for each Watch entry, keyed
+	// as given.
+	PenaltyTraces map[PenaltyWatch]*metrics.FloatSeries
+	// LastUpdateByRouter records when each router received its final
+	// update, exposing how unevenly the convergence delay is distributed
+	// (Section 7 observes that policy shrinks the affected set but the
+	// affected nodes still converge very late).
+	LastUpdateByRouter map[bgp.RouterID]time.Duration
+	// EndTime is when the network fully drained (every in-flight update
+	// delivered and every reuse timer fired), on the same flap-relative
+	// clock.
+	EndTime time.Duration
+}
+
+// Run executes the scenario and returns its measurements. The run is a pure
+// function of the scenario (deterministic).
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	interval := sc.FlapInterval
+	if interval == 0 {
+		interval = DefaultFlapInterval
+	}
+
+	// Build the run topology: base graph + originAS attached to the ispAS.
+	g := sc.Graph.Clone()
+	origin := g.AddNode()
+	if err := g.AddEdge(origin, sc.ISP); err != nil {
+		return nil, fmt.Errorf("experiment: attach origin: %w", err)
+	}
+	if g.Annotated() {
+		if err := g.SetRelationship(origin, sc.ISP, topology.RelProvider); err != nil {
+			return nil, fmt.Errorf("experiment: annotate origin link: %w", err)
+		}
+	}
+
+	k := sim.NewKernel(sim.WithSeed(sc.Config.Seed))
+	n, err := bgp.NewNetwork(k, g, sc.Config)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm-up: let every node learn a stable route, then wipe damping state
+	// and counters (Section 5.1: "Before the simulation starts, every node
+	// learns a stable route to the originAS").
+	n.Router(origin).Originate(FlapPrefix)
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("experiment: warm-up: %w", err)
+	}
+	n.ResetDamping()
+	n.ResetCounters()
+
+	res := &Result{
+		Pulses:             sc.Pulses,
+		Origin:             origin,
+		ISP:                bgp.RouterID(sc.ISP),
+		Updates:            &metrics.EventSeries{},
+		Damped:             &metrics.StepSeries{},
+		NoisyReuseTimes:    &metrics.EventSeries{},
+		PenaltyTraces:      make(map[PenaltyWatch]*metrics.FloatSeries, len(sc.Watch)),
+		LastUpdateByRouter: make(map[bgp.RouterID]time.Duration),
+	}
+	for _, w := range sc.Watch {
+		res.PenaltyTraces[w] = &metrics.FloatSeries{}
+	}
+
+	// All result times are relative to the first flap, matching the paper's
+	// figure axes. The network is quiescent here, so nothing fires between
+	// installing the hooks and the first withdrawal.
+	epoch := k.Now()
+	hooks := bgp.Hooks{
+		OnDeliver: func(at time.Duration, msg bgp.Message) {
+			res.Updates.Record(at - epoch)
+			res.LastUpdateByRouter[msg.To] = at - epoch
+		},
+		OnSuppress: func(at time.Duration, router, peer bgp.RouterID, _ bgp.Prefix, on bool) {
+			res.Damped.Record(at-epoch, n.DampedLinkCount())
+			if on && router == bgp.RouterID(sc.ISP) && peer == origin {
+				res.OriginSuppressed = true
+			}
+		},
+		OnReuse: func(at time.Duration, _, _ bgp.RouterID, _ bgp.Prefix, noisy bool) {
+			if noisy {
+				res.NoisyReuses++
+				res.NoisyReuseTimes.Record(at - epoch)
+			} else {
+				res.SilentReuses++
+			}
+		},
+		OnPenalty: func(at time.Duration, router, peer bgp.RouterID, _ bgp.Prefix, penalty float64) {
+			if len(sc.Watch) == 0 {
+				return
+			}
+			if tr, ok := res.PenaltyTraces[PenaltyWatch{Router: router, Peer: peer}]; ok {
+				tr.Record(at-epoch, penalty)
+			}
+		},
+	}
+	if sc.Trace != nil {
+		shifted := bgp.TraceHooks(sc.Trace)
+		hooks = bgp.MergeHooks(hooks, bgp.Hooks{
+			OnDeliver: func(at time.Duration, msg bgp.Message) {
+				shifted.OnDeliver(at-epoch, msg)
+			},
+			OnSuppress: func(at time.Duration, r, p bgp.RouterID, pf bgp.Prefix, on bool) {
+				shifted.OnSuppress(at-epoch, r, p, pf, on)
+			},
+			OnReuse: func(at time.Duration, r, p bgp.RouterID, pf bgp.Prefix, noisy bool) {
+				shifted.OnReuse(at-epoch, r, p, pf, noisy)
+			},
+			OnPenalty: func(at time.Duration, r, p bgp.RouterID, pf bgp.Prefix, pen float64) {
+				shifted.OnPenalty(at-epoch, r, p, pf, pen)
+			},
+		})
+	}
+	n.SetHooks(hooks)
+
+	// Flap phase.
+	flapDown := func() error {
+		if sc.FlapViaLink {
+			return n.SetLinkState(origin, bgp.RouterID(sc.ISP), false)
+		}
+		n.Router(origin).StopOriginating(FlapPrefix)
+		return nil
+	}
+	flapUp := func() error {
+		if sc.FlapViaLink {
+			return n.SetLinkState(origin, bgp.RouterID(sc.ISP), true)
+		}
+		n.Router(origin).Originate(FlapPrefix)
+		return nil
+	}
+	if sc.Pulses > 0 {
+		res.FlapStart = k.Now() - epoch
+		for i := 0; i < sc.Pulses; i++ {
+			if err := flapDown(); err != nil {
+				return nil, fmt.Errorf("experiment: pulse %d down: %w", i+1, err)
+			}
+			if err := k.RunUntil(k.Now() + interval); err != nil {
+				return nil, fmt.Errorf("experiment: pulse %d: %w", i+1, err)
+			}
+			if err := flapUp(); err != nil {
+				return nil, fmt.Errorf("experiment: pulse %d up: %w", i+1, err)
+			}
+			res.FlapEnd = k.Now() - epoch
+			if i < sc.Pulses-1 {
+				if err := k.RunUntil(k.Now() + interval); err != nil {
+					return nil, fmt.Errorf("experiment: pulse %d: %w", i+1, err)
+				}
+			}
+		}
+	}
+
+	// Drain: every in-flight update and every reuse timer fires within the
+	// max hold-down horizon.
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("experiment: drain: %w", err)
+	}
+	res.EndTime = k.Now() - epoch
+	res.MessageCount = res.Updates.Count()
+	if last, ok := res.Updates.Last(); ok && last > res.FlapEnd {
+		res.ConvergenceTime = last - res.FlapEnd
+	}
+	res.MaxDamped = res.Damped.Max()
+	res.Phases = metrics.ComputePhases(res.Updates, res.NoisyReuseTimes, res.FlapStart, res.FlapEnd)
+
+	if err := n.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("experiment: post-run consistency: %w", err)
+	}
+	return res, nil
+}
+
+// ConvergenceSpread summarizes how long after the final announcement each
+// router kept receiving updates (seconds). The maximum equals
+// ConvergenceTime; the gap between median and maximum exposes how uneven
+// the damping delay is across the network.
+func (r *Result) ConvergenceSpread() metrics.Summary {
+	vals := make([]float64, 0, len(r.LastUpdateByRouter))
+	for _, at := range r.LastUpdateByRouter {
+		d := at - r.FlapEnd
+		if d < 0 {
+			d = 0
+		}
+		vals = append(vals, d.Seconds())
+	}
+	return metrics.Summarize(vals)
+}

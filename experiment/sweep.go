@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepPoint pairs a pulse count with its run result.
+type SweepPoint struct {
+	Pulses int
+	Result *Result
+}
+
+// Sweep runs the scenario once per entry in pulses, in parallel (each run
+// owns its own kernel and cloned topology, so runs are independent and the
+// output is deterministic regardless of scheduling). Results are returned in
+// the order of the pulses slice. The first run error aborts the sweep.
+func Sweep(base Scenario, pulses []int) ([]SweepPoint, error) {
+	return SweepParallel(base, pulses, runtime.NumCPU())
+}
+
+// SweepParallel is Sweep with an explicit worker bound (minimum 1).
+func SweepParallel(base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pulses) {
+		workers = len(pulses)
+	}
+	out := make([]SweepPoint, len(pulses))
+	errs := make([]error, len(pulses))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, n := range pulses {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc := base
+			sc.Pulses = n
+			res, err := Run(sc)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: sweep n=%d: %w", n, err)
+				return
+			}
+			out[i] = SweepPoint{Pulses: n, Result: res}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PulseRange returns [from, from+1, …, to].
+func PulseRange(from, to int) []int {
+	if to < from {
+		return nil
+	}
+	out := make([]int, 0, to-from+1)
+	for n := from; n <= to; n++ {
+		out = append(out, n)
+	}
+	return out
+}

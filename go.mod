@@ -1,0 +1,3 @@
+module rfd
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package asciiplot renders simple text line charts for the command-line
+// tools, so every paper figure can be eyeballed straight from a terminal
+// without plotting dependencies.
+package asciiplot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series onto a width×height character grid with y-axis
+// labels and a legend. Series with mismatched X/Y lengths or charts smaller
+// than 8×4 are rejected.
+func Plot(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 8 || height < 4 {
+		return fmt.Errorf("asciiplot: chart %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("asciiplot: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("asciiplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("asciiplot: all series empty")
+	}
+	if minY > 0 {
+		minY = 0 // anchor the paper-style axes at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			grid[r][col] = m
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if title != "" {
+		fmt.Fprintf(bw, "%s\n", title)
+	}
+	label := func(v float64) string { return fmt.Sprintf("%10.4g", v) }
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(bw, "%s |%s\n", label(maxY), grid[r])
+		case height - 1:
+			fmt.Fprintf(bw, "%s |%s\n", label(minY), grid[r])
+		default:
+			fmt.Fprintf(bw, "%s |%s\n", strings.Repeat(" ", 10), grid[r])
+		}
+	}
+	fmt.Fprintf(bw, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(bw, "%s  %-*s%s\n", strings.Repeat(" ", 10), width-10, fmt.Sprintf("%.4g", minX), fmt.Sprintf("%10.4g", maxX))
+	for si, s := range series {
+		fmt.Fprintf(bw, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return bw.Flush()
+}

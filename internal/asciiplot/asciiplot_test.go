@@ -1,0 +1,71 @@
+package asciiplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "demo", []Series{
+		{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "+ flat") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing markers")
+	}
+	// Rows: title + height + axis + xlabel + 2 legend = 10+5.
+	if got := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); got != 15 {
+		t.Fatalf("unexpected line count %d:\n%s", got, out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, "", nil, 40, 10); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Plot(&buf, "", []Series{{Name: "s", X: []float64{1}, Y: nil}}, 40, 10); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := Plot(&buf, "", []Series{{Name: "s"}}, 40, 10); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if err := Plot(&buf, "", []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}, 4, 2); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: both ranges degenerate; must not panic or divide by zero.
+	err := Plot(&buf, "", []Series{{Name: "pt", X: []float64{5}, Y: []float64{5}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("point not plotted")
+	}
+}
+
+func TestPlotAnchorsYAtZero(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{5, 10}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "         0 |") {
+		t.Fatalf("y axis not anchored at 0:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Package eventq implements the priority queue that drives the discrete-event
+// simulation kernel.
+//
+// It is an indexed binary min-heap ordered by (time, sequence number): events
+// scheduled for the same instant fire in the order they were scheduled, which
+// is what makes whole-network simulations deterministic. Entries can be
+// cancelled or rescheduled in O(log n) via the handle returned at push time,
+// which the BGP engine uses for MRAI and damping reuse timers.
+package eventq
+
+import "time"
+
+// Item is a scheduled entry. The queue owns the Time/seq/index fields;
+// Payload is opaque to it.
+type Item struct {
+	// Time is the virtual instant the item fires at.
+	Time time.Duration
+	// Payload is the caller's event data.
+	Payload any
+
+	seq   uint64
+	index int // position in heap; -1 once removed
+}
+
+// Scheduled reports whether the item is still in a queue (i.e., has neither
+// fired nor been cancelled).
+func (it *Item) Scheduled() bool { return it != nil && it.index >= 0 }
+
+// Queue is a deterministic time-ordered priority queue.
+// The zero value is an empty queue ready for use.
+type Queue struct {
+	items   []*Item
+	nextSeq uint64
+}
+
+// Len returns the number of pending items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push schedules payload at time t and returns a handle usable with Cancel
+// and Reschedule. Items pushed with equal t fire in push order.
+func (q *Queue) Push(t time.Duration, payload any) *Item {
+	it := &Item{Time: t, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	it.index = len(q.items)
+	q.items = append(q.items, it)
+	q.up(it.index)
+	return it
+}
+
+// Peek returns the earliest item without removing it, or nil if empty.
+func (q *Queue) Peek() *Item {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the earliest item, or nil if empty.
+func (q *Queue) Pop() *Item {
+	if len(q.items) == 0 {
+		return nil
+	}
+	it := q.items[0]
+	q.remove(0)
+	return it
+}
+
+// Cancel removes it from the queue. It reports whether the item was still
+// scheduled; cancelling an already-fired or already-cancelled item is a no-op.
+func (q *Queue) Cancel(it *Item) bool {
+	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+		return false
+	}
+	q.remove(it.index)
+	return true
+}
+
+// Reschedule moves a still-scheduled item to a new time, keeping its payload.
+// It reports whether the item was scheduled. A rescheduled item keeps its
+// original sequence number, so among equal times it still fires in original
+// push order.
+func (q *Queue) Reschedule(it *Item, t time.Duration) bool {
+	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+		return false
+	}
+	it.Time = t
+	if !q.down(it.index) {
+		q.up(it.index)
+	}
+	return true
+}
+
+// less orders by (Time, seq).
+func (q *Queue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the item at i toward the leaves; reports whether it moved.
+func (q *Queue) down(i int) bool {
+	start := i
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.swap(i, child)
+		i = child
+	}
+	return i != start
+}
+
+// remove deletes the item at position i.
+func (q *Queue) remove(i int) {
+	it := q.items[i]
+	last := len(q.items) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.items[last] = nil
+	q.items = q.items[:last]
+	it.index = -1
+	if i < last {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+}

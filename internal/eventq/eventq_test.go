@@ -1,0 +1,279 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rfd/internal/xrand"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue != nil")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue != nil")
+	}
+}
+
+func TestPopOrderByTime(t *testing.T) {
+	var q Queue
+	times := []time.Duration{5, 1, 3, 2, 4}
+	for _, d := range times {
+		q.Push(d*time.Second, d)
+	}
+	var got []time.Duration
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Time)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("popped %d items, want %d", len(got), len(times))
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue
+	const at = 10 * time.Second
+	for i := 0; i < 50; i++ {
+		q.Push(at, i)
+	}
+	for i := 0; i < 50; i++ {
+		it := q.Pop()
+		if it.Payload.(int) != i {
+			t.Fatalf("equal-time items fired out of push order: got %v at pos %d", it.Payload, i)
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue
+	q.Push(3*time.Second, "c")
+	q.Push(1*time.Second, "a")
+	q.Push(2*time.Second, "b")
+	for q.Len() > 0 {
+		p := q.Peek()
+		if got := q.Pop(); got != p {
+			t.Fatalf("Peek %v != Pop %v", p.Payload, got.Payload)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	b := q.Push(2*time.Second, "b")
+	c := q.Push(3*time.Second, "c")
+	if !q.Cancel(b) {
+		t.Fatal("Cancel(b) = false, want true")
+	}
+	if b.Scheduled() {
+		t.Fatal("b still reports scheduled after cancel")
+	}
+	if q.Cancel(b) {
+		t.Fatal("second Cancel(b) = true, want false")
+	}
+	if got := q.Pop(); got != a {
+		t.Fatalf("first pop = %v, want a", got.Payload)
+	}
+	if got := q.Pop(); got != c {
+		t.Fatalf("second pop = %v, want c", got.Payload)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", q.Len())
+	}
+}
+
+func TestCancelHead(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	q.Push(2*time.Second, "b")
+	if !q.Cancel(a) {
+		t.Fatal("Cancel(head) failed")
+	}
+	if got := q.Pop(); got.Payload != "b" {
+		t.Fatalf("pop = %v, want b", got.Payload)
+	}
+}
+
+func TestCancelPoppedItemIsNoop(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	q.Pop()
+	if q.Cancel(a) {
+		t.Fatal("Cancel of popped item returned true")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var q Queue
+	if q.Cancel(nil) {
+		t.Fatal("Cancel(nil) = true")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	b := q.Push(2*time.Second, "b")
+	// Move a after b.
+	if !q.Reschedule(a, 5*time.Second) {
+		t.Fatal("Reschedule returned false for scheduled item")
+	}
+	if got := q.Pop(); got != b {
+		t.Fatalf("pop = %v, want b", got.Payload)
+	}
+	if got := q.Pop(); got != a {
+		t.Fatalf("pop = %v, want a", got.Payload)
+	}
+	if got, want := a.Time, 5*time.Second; got != want {
+		t.Fatalf("rescheduled time = %v, want %v", got, want)
+	}
+}
+
+func TestRescheduleEarlier(t *testing.T) {
+	var q Queue
+	a := q.Push(10*time.Second, "a")
+	q.Push(2*time.Second, "b")
+	if !q.Reschedule(a, 1*time.Second) {
+		t.Fatal("Reschedule failed")
+	}
+	if got := q.Pop(); got != a {
+		t.Fatalf("pop = %v, want a after rescheduling earlier", got.Payload)
+	}
+}
+
+func TestRescheduleFiredItemFails(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	q.Pop()
+	if q.Reschedule(a, 2*time.Second) {
+		t.Fatal("Reschedule of fired item returned true")
+	}
+}
+
+func TestScheduledReporting(t *testing.T) {
+	var q Queue
+	a := q.Push(1*time.Second, "a")
+	if !a.Scheduled() {
+		t.Fatal("freshly pushed item not Scheduled")
+	}
+	q.Pop()
+	if a.Scheduled() {
+		t.Fatal("popped item still Scheduled")
+	}
+	var nilItem *Item
+	if nilItem.Scheduled() {
+		t.Fatal("nil item reports Scheduled")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	q.Push(5*time.Second, 5)
+	q.Push(1*time.Second, 1)
+	if got := q.Pop().Payload.(int); got != 1 {
+		t.Fatalf("pop = %d, want 1", got)
+	}
+	q.Push(3*time.Second, 3)
+	q.Push(2*time.Second, 2)
+	want := []int{2, 3, 5}
+	for _, w := range want {
+		if got := q.Pop().Payload.(int); got != w {
+			t.Fatalf("pop = %d, want %d", got, w)
+		}
+	}
+}
+
+// TestRandomizedHeapProperty drives the queue with a random mix of operations
+// and checks, against a shadow set of live items, that every pop returns the
+// (time, seq)-minimum of the items currently scheduled.
+func TestRandomizedHeapProperty(t *testing.T) {
+	r := xrand.New(99)
+	var q Queue
+	live := make(map[*Item]bool)
+	for op := 0; op < 20000; op++ {
+		switch r.Intn(4) {
+		case 0, 1: // push
+			it := q.Push(time.Duration(r.Intn(1000))*time.Millisecond, op)
+			live[it] = true
+		case 2: // pop
+			it := q.Pop()
+			if it == nil {
+				if len(live) != 0 {
+					t.Fatalf("op %d: queue empty but %d live items tracked", op, len(live))
+				}
+				continue
+			}
+			if !live[it] {
+				t.Fatalf("op %d: popped item not in live set", op)
+			}
+			for other := range live {
+				if other == it {
+					continue
+				}
+				if other.Time < it.Time || (other.Time == it.Time && other.seq < it.seq) {
+					t.Fatalf("op %d: popped (%v,%d) but (%v,%d) was scheduled",
+						op, it.Time, it.seq, other.Time, other.seq)
+				}
+			}
+			delete(live, it)
+		case 3: // cancel or reschedule a random live item
+			for it := range live {
+				if r.Intn(2) == 0 {
+					if !q.Cancel(it) {
+						t.Fatalf("op %d: Cancel of live item failed", op)
+					}
+					delete(live, it)
+				} else if !q.Reschedule(it, time.Duration(r.Intn(1000))*time.Millisecond) {
+					t.Fatalf("op %d: Reschedule of live item failed", op)
+				}
+				break
+			}
+		}
+	}
+	if q.Len() != len(live) {
+		t.Fatalf("queue length %d != tracked live set %d", q.Len(), len(live))
+	}
+}
+
+func TestQuickPushPopSorted(t *testing.T) {
+	f := func(ms []uint16) bool {
+		var q Queue
+		for _, m := range ms {
+			q.Push(time.Duration(m)*time.Millisecond, nil)
+		}
+		prev := time.Duration(-1)
+		for q.Len() > 0 {
+			it := q.Pop()
+			if it.Time < prev {
+				return false
+			}
+			prev = it.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := xrand.New(1)
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(r.Intn(1<<20)), nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator for simulations.
+//
+// The simulator requires bit-for-bit reproducible runs across Go releases and
+// platforms. math/rand's generator and its convenience helpers have changed
+// behaviour between Go versions (and math/rand/v2 re-seeds differently), so
+// the kernel uses this self-contained implementation instead: a splitmix64
+// seed expander feeding a xoshiro256** state, the same construction used by
+// the Go runtime and by math/rand/v2 internally.
+//
+// Rand is not safe for concurrent use; every simulation run owns its own
+// instance. Derive independent child generators with Split.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed. Two generators built
+// from the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	// splitmix64 expansion, recommended seeding procedure for xoshiro.
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with an all-zero state; splitmix64 cannot
+	// produce one from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives a new generator whose stream is independent of the parent's
+// subsequent output. Use it to give each subsystem (links, timers, …) its own
+// stream so adding a consumer does not perturb the others.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers control n and a non-positive bound is a programming
+// error, not a runtime condition.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-cheap.
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi). It panics if hi < lo.
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("xrand: Uniform called with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1, via
+// inverse-transform sampling (deterministic and branch-free, unlike ziggurat).
+func (r *Rand) ExpFloat64() float64 {
+	// 1-Float64() is in (0,1], so Log never sees zero.
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle called with negative n")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

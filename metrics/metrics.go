@@ -1,0 +1,264 @@
+// Package metrics provides the measurement primitives the experiments use to
+// reproduce the paper's figures: event series with fixed-width binning (the
+// 5-second update series of Fig 10), step series (the damped-link count of
+// Fig 10), float series (the penalty traces of Figs 3 and 7), summary
+// statistics, and the paper's four-state phase decomposition
+// (charging / suppression / releasing / converged, Section 4.1).
+//
+// The package is deliberately independent of the bgp engine; the experiment
+// layer translates bgp.Hooks callbacks into metric recordings.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// EventSeries records the times of point events (e.g. update deliveries) in
+// nondecreasing order. The zero value is an empty series ready for use.
+type EventSeries struct {
+	times []time.Duration
+}
+
+// Record appends an event. Events must arrive in nondecreasing time order
+// (the simulator guarantees this); out-of-order records panic because they
+// would silently corrupt binning.
+func (s *EventSeries) Record(at time.Duration) {
+	if n := len(s.times); n > 0 && at < s.times[n-1] {
+		panic(fmt.Sprintf("metrics: event at %v before last %v", at, s.times[n-1]))
+	}
+	s.times = append(s.times, at)
+}
+
+// Count returns the total number of events.
+func (s *EventSeries) Count() int { return len(s.times) }
+
+// Times returns a copy of the event times.
+func (s *EventSeries) Times() []time.Duration {
+	out := make([]time.Duration, len(s.times))
+	copy(out, s.times)
+	return out
+}
+
+// First returns the first event time (0, false when empty).
+func (s *EventSeries) First() (time.Duration, bool) {
+	if len(s.times) == 0 {
+		return 0, false
+	}
+	return s.times[0], true
+}
+
+// Last returns the last event time (0, false when empty).
+func (s *EventSeries) Last() (time.Duration, bool) {
+	if len(s.times) == 0 {
+		return 0, false
+	}
+	return s.times[len(s.times)-1], true
+}
+
+// CountBetween returns how many events lie in [from, to).
+func (s *EventSeries) CountBetween(from, to time.Duration) int {
+	lo := sort.Search(len(s.times), func(i int) bool { return s.times[i] >= from })
+	hi := sort.Search(len(s.times), func(i int) bool { return s.times[i] >= to })
+	return hi - lo
+}
+
+// Bin is one fixed-width histogram bucket.
+type Bin struct {
+	// Start is the bucket's inclusive lower bound.
+	Start time.Duration
+	// Count is the number of events in [Start, Start+width).
+	Count int
+}
+
+// Bins buckets the events from start to end into fixed-width bins (the
+// paper's update series uses width = 5 s). The final bin is included even if
+// partially covered. It panics on non-positive width; it returns nil when
+// end <= start.
+func (s *EventSeries) Bins(start, end, width time.Duration) []Bin {
+	if width <= 0 {
+		panic("metrics: non-positive bin width")
+	}
+	if end <= start {
+		return nil
+	}
+	n := int((end - start + width - 1) / width)
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Start = start + time.Duration(i)*width
+	}
+	for _, t := range s.times {
+		if t < start || t >= end {
+			continue
+		}
+		bins[(t-start)/width].Count++
+	}
+	return bins
+}
+
+// StepPoint is one change of an integer step function.
+type StepPoint struct {
+	At    time.Duration
+	Value int
+}
+
+// StepSeries records an integer quantity that changes at discrete instants
+// (e.g. the number of suppressed links). The zero value starts at 0.
+type StepSeries struct {
+	points []StepPoint
+}
+
+// Record notes that the quantity has the given value from time at onward.
+// Times must be nondecreasing; equal times overwrite (last write wins).
+func (s *StepSeries) Record(at time.Duration, value int) {
+	if n := len(s.points); n > 0 {
+		if at < s.points[n-1].At {
+			panic(fmt.Sprintf("metrics: step at %v before last %v", at, s.points[n-1].At))
+		}
+		if at == s.points[n-1].At {
+			s.points[n-1].Value = value
+			return
+		}
+	}
+	s.points = append(s.points, StepPoint{At: at, Value: value})
+}
+
+// ValueAt returns the value in effect at time t (0 before the first record).
+func (s *StepSeries) ValueAt(t time.Duration) int {
+	idx := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > t })
+	if idx == 0 {
+		return 0
+	}
+	return s.points[idx-1].Value
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (s *StepSeries) Max() int {
+	max := 0
+	for _, p := range s.points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Points returns a copy of the change points.
+func (s *StepSeries) Points() []StepPoint {
+	out := make([]StepPoint, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Sample evaluates the step function on a regular grid from start to end
+// (inclusive of start, exclusive of end) with the given spacing.
+func (s *StepSeries) Sample(start, end, spacing time.Duration) []StepPoint {
+	if spacing <= 0 {
+		panic("metrics: non-positive sample spacing")
+	}
+	var out []StepPoint
+	for t := start; t < end; t += spacing {
+		out = append(out, StepPoint{At: t, Value: s.ValueAt(t)})
+	}
+	return out
+}
+
+// FloatPoint is one sample of a real-valued series.
+type FloatPoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// FloatSeries records real-valued samples in nondecreasing time order
+// (penalty traces). The zero value is empty and ready.
+type FloatSeries struct {
+	points []FloatPoint
+}
+
+// Record appends a sample.
+func (s *FloatSeries) Record(at time.Duration, v float64) {
+	if n := len(s.points); n > 0 && at < s.points[n-1].At {
+		panic(fmt.Sprintf("metrics: sample at %v before last %v", at, s.points[n-1].At))
+	}
+	s.points = append(s.points, FloatPoint{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *FloatSeries) Len() int { return len(s.points) }
+
+// Points returns a copy of the samples.
+func (s *FloatSeries) Points() []FloatPoint {
+	out := make([]FloatPoint, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Max returns the largest sample value (0 when empty).
+func (s *FloatSeries) Max() float64 {
+	max := 0.0
+	for _, p := range s.points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, StdDev float64
+	Median       float64
+	P90, P99     float64
+	Sum          float64
+}
+
+// Summarize computes descriptive statistics. An empty input yields a zero
+// Summary with N == 0.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(varSum / float64(len(sorted))),
+		Median: quantile(sorted, 0.5),
+		P90:    quantile(sorted, 0.9),
+		P99:    quantile(sorted, 0.99),
+		Sum:    sum,
+	}
+}
+
+// quantile returns the q-quantile of a sorted sample by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

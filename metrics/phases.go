@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phases is the paper's four-state decomposition of a damping episode
+// (Section 4.1):
+//
+//	charging    — from the first flap until no update is in flight;
+//	suppression — quiescent, but noisy reuse timers pending;
+//	releasing   — from the first reuse-triggered update until the last
+//	              update is delivered;
+//	converged   — afterwards (remaining reuse timers are silent).
+//
+// When no route was suppressed (or every reuse was silent) the suppression
+// and releasing phases are absent and charging simply ends at the last
+// update.
+type Phases struct {
+	// FlapStart is the first flap (start of charging).
+	FlapStart time.Duration
+	// FlapEnd is the origin's final announcement.
+	FlapEnd time.Duration
+	// ChargingEnd is the last update delivered before the first reuse.
+	ChargingEnd time.Duration
+	// ReleaseStart is the first noisy reuse (start of releasing); zero when
+	// HasRelease is false.
+	ReleaseStart time.Duration
+	// End is the last update delivered overall.
+	End time.Duration
+	// HasRelease reports whether a suppression + releasing phase exists.
+	HasRelease bool
+}
+
+// ComputePhases derives the decomposition from the recorded update
+// deliveries and noisy reuse instants.
+func ComputePhases(deliveries *EventSeries, noisyReuses *EventSeries, flapStart, flapEnd time.Duration) Phases {
+	ph := Phases{FlapStart: flapStart, FlapEnd: flapEnd}
+	last, ok := deliveries.Last()
+	if !ok {
+		// No updates at all: degenerate, everything collapses to the flap.
+		ph.ChargingEnd = flapEnd
+		ph.End = flapEnd
+		return ph
+	}
+	ph.End = last
+	firstReuse, hasReuse := noisyReuses.First()
+	if !hasReuse {
+		ph.ChargingEnd = last
+		return ph
+	}
+	ph.HasRelease = true
+	ph.ReleaseStart = firstReuse
+	// Charging ends at the last delivery that precedes the first reuse.
+	chargingEnd := flapEnd
+	for _, t := range deliveries.Times() {
+		if t >= firstReuse {
+			break
+		}
+		chargingEnd = t
+	}
+	ph.ChargingEnd = chargingEnd
+	return ph
+}
+
+// ConvergenceTime is the paper's metric: from the origin's final
+// announcement to the last update observed (Section 3). Zero when the final
+// announcement itself triggered nothing.
+func (p Phases) ConvergenceTime() time.Duration {
+	if p.End <= p.FlapEnd {
+		return 0
+	}
+	return p.End - p.FlapEnd
+}
+
+// ChargingDuration is the length of the charging period.
+func (p Phases) ChargingDuration() time.Duration {
+	if p.ChargingEnd <= p.FlapStart {
+		return 0
+	}
+	return p.ChargingEnd - p.FlapStart
+}
+
+// SuppressionDuration is the quiescent gap between charging and releasing.
+func (p Phases) SuppressionDuration() time.Duration {
+	if !p.HasRelease || p.ReleaseStart <= p.ChargingEnd {
+		return 0
+	}
+	return p.ReleaseStart - p.ChargingEnd
+}
+
+// ReleasingDuration is the length of the releasing period.
+func (p Phases) ReleasingDuration() time.Duration {
+	if !p.HasRelease || p.End <= p.ReleaseStart {
+		return 0
+	}
+	return p.End - p.ReleaseStart
+}
+
+// ReleasingFraction is the releasing period as a fraction of the
+// convergence time — the paper reports ≈70 % for a single pulse on the mesh
+// (Section 5.3). Zero when there is no convergence delay.
+func (p Phases) ReleasingFraction() float64 {
+	total := p.ConvergenceTime()
+	if total <= 0 {
+		return 0
+	}
+	return float64(p.ReleasingDuration()) / float64(total)
+}
+
+// String summarizes the decomposition.
+func (p Phases) String() string {
+	if !p.HasRelease {
+		return fmt.Sprintf("charging %v (no suppression phase), end %v", p.ChargingDuration(), p.End)
+	}
+	return fmt.Sprintf("charging %v, suppression %v, releasing %v (%.0f%% of convergence)",
+		p.ChargingDuration(), p.SuppressionDuration(), p.ReleasingDuration(), 100*p.ReleasingFraction())
+}

@@ -1,0 +1,209 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underneath the BGP route-flap-damping experiments.
+//
+// A Kernel owns a virtual clock and an event queue. Components schedule
+// callbacks at virtual instants; Run drains the queue in (time, schedule
+// order), advancing the clock as it goes. There is no wall-clock coupling and
+// no goroutine concurrency inside a kernel: a run is a pure function of the
+// initial schedule and the seed, so every experiment in this repository is
+// exactly reproducible. (Parallelism lives a level up — independent runs of a
+// parameter sweep execute on separate kernels in separate goroutines.)
+//
+// Basic use:
+//
+//	k := sim.NewKernel(sim.WithSeed(1))
+//	k.After(2*time.Second, "hello", func() { fmt.Println(k.Now()) })
+//	if err := k.Run(); err != nil { ... }
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rfd/internal/eventq"
+	"rfd/internal/xrand"
+)
+
+// ErrEventLimit is returned by Run and RunUntil when the kernel has executed
+// its configured maximum number of events, which almost always indicates a
+// scheduling loop (e.g. a timer that re-arms itself unconditionally).
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// DefaultMaxEvents bounds a run unless overridden with WithMaxEvents. The
+// largest experiment in this repository (208-node topology, 10 pulses)
+// executes on the order of 10^6 events, so the default leaves ample headroom
+// while still catching runaway schedules quickly.
+const DefaultMaxEvents = 200_000_000
+
+// Timer is a handle to a scheduled callback. A nil Timer is inert: Cancel and
+// Active are safe to call and do nothing.
+type Timer struct {
+	k    *Kernel
+	item *eventq.Item
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.item.Scheduled()
+}
+
+// Cancel stops the timer. It reports whether the timer was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil {
+		return false
+	}
+	return t.k.q.Cancel(t.item)
+}
+
+// Reschedule moves a still-pending timer to virtual time at. It reports
+// whether the timer was pending. Rescheduling into the past (before Now) is a
+// programming error and panics, because it would silently corrupt causality.
+func (t *Timer) Reschedule(at time.Duration) bool {
+	if t == nil {
+		return false
+	}
+	if at < t.k.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, t.k.now))
+	}
+	return t.k.q.Reschedule(t.item, at)
+}
+
+// When returns the virtual time the timer will fire at. Meaningless (but
+// harmless) for inactive timers.
+func (t *Timer) When() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.item.Time
+}
+
+// event is what the queue stores.
+type event struct {
+	name string
+	fn   func()
+}
+
+// TraceFunc observes every event as it fires; see Kernel.SetTrace.
+type TraceFunc func(at time.Duration, name string)
+
+// Kernel is a deterministic discrete-event scheduler. Construct with
+// NewKernel; a Kernel must not be shared between goroutines.
+type Kernel struct {
+	q         eventq.Queue
+	now       time.Duration
+	rng       *xrand.Rand
+	executed  uint64
+	maxEvents uint64
+	trace     TraceFunc
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the seed for the kernel's random stream. Runs with equal
+// seeds and equal schedules are identical. Default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(k *Kernel) { k.rng = xrand.New(seed) }
+}
+
+// WithMaxEvents overrides the runaway-schedule guard.
+func WithMaxEvents(n uint64) Option {
+	return func(k *Kernel) { k.maxEvents = n }
+}
+
+// NewKernel returns a kernel at virtual time zero.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		rng:       xrand.New(1),
+		maxEvents: DefaultMaxEvents,
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's random stream. Components that need isolated
+// streams should Split it once at construction.
+func (k *Kernel) Rand() *xrand.Rand { return k.rng }
+
+// Executed returns the number of events fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of scheduled events not yet fired.
+func (k *Kernel) Pending() int { return k.q.Len() }
+
+// SetTrace installs fn to observe every fired event (nil disables tracing).
+func (k *Kernel) SetTrace(fn TraceFunc) { k.trace = fn }
+
+// At schedules fn at absolute virtual time at. Scheduling in the past panics:
+// it would break the causal order every experiment relies on. The name is
+// only used for tracing and diagnostics.
+func (k *Kernel) At(at time.Duration, name string, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, k.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	item := k.q.Push(at, event{name: name, fn: fn})
+	return &Timer{k: k, item: item}
+}
+
+// After schedules fn d after the current virtual time. Negative d panics.
+func (k *Kernel) After(d time.Duration, name string, fn func()) *Timer {
+	return k.At(k.now+d, name, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (k *Kernel) Step() bool {
+	item := k.q.Pop()
+	if item == nil {
+		return false
+	}
+	k.now = item.Time
+	ev := item.Payload.(event)
+	k.executed++
+	if k.trace != nil {
+		k.trace(k.now, ev.name)
+	}
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty. It returns ErrEventLimit if the
+// configured maximum number of events is exceeded.
+func (k *Kernel) Run() error {
+	for k.q.Len() > 0 {
+		if k.executed >= k.maxEvents {
+			return fmt.Errorf("%w (%d events, now %v)", ErrEventLimit, k.executed, k.now)
+		}
+		k.Step()
+	}
+	return nil
+}
+
+// RunUntil fires events with time <= horizon, leaving later events pending,
+// and advances the clock to exactly horizon. It returns ErrEventLimit under
+// the same condition as Run.
+func (k *Kernel) RunUntil(horizon time.Duration) error {
+	for {
+		head := k.q.Peek()
+		if head == nil || head.Time > horizon {
+			break
+		}
+		if k.executed >= k.maxEvents {
+			return fmt.Errorf("%w (%d events, now %v)", ErrEventLimit, k.executed, k.now)
+		}
+		k.Step()
+	}
+	if horizon > k.now {
+		k.now = horizon
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunUntilRepeatedAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(10*time.Second, "e", func() { fired++ })
+	for horizon := time.Second; horizon <= 9*time.Second; horizon += time.Second {
+		if err := k.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		if k.Now() != horizon {
+			t.Fatalf("Now = %v, want %v", k.Now(), horizon)
+		}
+		if fired != 0 {
+			t.Fatal("event fired early")
+		}
+	}
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatal("event did not fire at horizon")
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	k := NewKernel()
+	k.At(10*time.Second, "e", func() {})
+	if err := k.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 20*time.Second {
+		t.Fatalf("clock rewound to %v", k.Now())
+	}
+}
+
+func TestRescheduleDuringCallback(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	var b *Timer
+	k.At(time.Second, "a", func() {
+		order = append(order, "a")
+		// Push b from 2s out to 5s.
+		if !b.Reschedule(5 * time.Second) {
+			t.Error("reschedule failed")
+		}
+		k.At(3*time.Second, "c", func() { order = append(order, "c") })
+	})
+	b = k.At(2*time.Second, "b", func() { order = append(order, "b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCancelDuringCallback(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	var victim *Timer
+	k.At(time.Second, "killer", func() { victim.Cancel() })
+	victim = k.At(2*time.Second, "victim", func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled-during-run timer fired")
+	}
+}
+
+func TestManySimultaneousTimersDeterministic(t *testing.T) {
+	run := func() []int {
+		k := NewKernel(WithSeed(5))
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			// All at the same instant plus random later re-arms.
+			k.At(time.Second, "e", func() {
+				order = append(order, i)
+				if i%10 == 0 {
+					k.After(time.Duration(k.Rand().Intn(100))*time.Millisecond, "re", func() {
+						order = append(order, -i)
+					})
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	k := NewKernel()
+	timers := make([]*Timer, 5)
+	for i := range timers {
+		timers[i] = k.After(time.Duration(i+1)*time.Second, "e", func() {})
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d", k.Pending())
+	}
+	timers[2].Cancel()
+	if k.Pending() != 4 {
+		t.Fatalf("Pending after cancel = %d", k.Pending())
+	}
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending after partial run = %d", k.Pending())
+	}
+}
+
+func TestTimerWhenReflectsReschedule(t *testing.T) {
+	k := NewKernel()
+	tm := k.After(time.Second, "e", func() {})
+	if tm.When() != time.Second {
+		t.Fatalf("When = %v", tm.When())
+	}
+	tm.Reschedule(9 * time.Second)
+	if tm.When() != 9*time.Second {
+		t.Fatalf("When after reschedule = %v", tm.When())
+	}
+}

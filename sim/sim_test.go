@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunEmptyKernel(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run on empty kernel: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(3*time.Second, "c", func() { order = append(order, "c") })
+	k.At(1*time.Second, "a", func() { order = append(order, "a") })
+	k.At(2*time.Second, "b", func() { order = append(order, "b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(order); got != 3 {
+		t.Fatalf("fired %d events, want 3", got)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", k.Now())
+	}
+}
+
+func TestEqualTimesFireInScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		k.At(time.Second, "e", func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesDuringCallback(t *testing.T) {
+	k := NewKernel()
+	var seen time.Duration
+	k.After(5*time.Second, "probe", func() { seen = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5*time.Second {
+		t.Fatalf("Now inside callback = %v, want 5s", seen)
+	}
+}
+
+func TestCallbackMaySchedule(t *testing.T) {
+	k := NewKernel()
+	var times []time.Duration
+	k.After(time.Second, "first", func() {
+		times = append(times, k.Now())
+		k.After(time.Second, "second", func() {
+			times = append(times, k.Now())
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(10*time.Second, "later", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(time.Second, "past", func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	NewKernel().At(time.Second, "bad", nil)
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	timer := k.After(time.Second, "x", func() { fired = true })
+	if !timer.Active() {
+		t.Fatal("fresh timer not active")
+	}
+	if !timer.Cancel() {
+		t.Fatal("Cancel returned false")
+	}
+	if timer.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestNilTimerSafe(t *testing.T) {
+	var timer *Timer
+	if timer.Active() {
+		t.Fatal("nil timer active")
+	}
+	if timer.Cancel() {
+		t.Fatal("nil timer cancel returned true")
+	}
+	if timer.Reschedule(time.Second) {
+		t.Fatal("nil timer reschedule returned true")
+	}
+	if timer.When() != 0 {
+		t.Fatal("nil timer When != 0")
+	}
+}
+
+func TestTimerReschedule(t *testing.T) {
+	k := NewKernel()
+	var at time.Duration
+	timer := k.After(time.Second, "x", func() { at = k.Now() })
+	if !timer.Reschedule(7 * time.Second) {
+		t.Fatal("Reschedule returned false")
+	}
+	if timer.When() != 7*time.Second {
+		t.Fatalf("When = %v, want 7s", timer.When())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7*time.Second {
+		t.Fatalf("fired at %v, want 7s", at)
+	}
+}
+
+func TestTimerRescheduleIntoPastPanics(t *testing.T) {
+	k := NewKernel()
+	timer := k.After(30*time.Second, "victim", func() {})
+	k.After(10*time.Second, "attacker", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reschedule into the past did not panic")
+			}
+		}()
+		timer.Reschedule(time.Second)
+	})
+	_ = k.Run()
+}
+
+func TestTimerFiredCannotReschedule(t *testing.T) {
+	k := NewKernel()
+	timer := k.After(time.Second, "x", func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if timer.Reschedule(10 * time.Second) {
+		t.Fatal("Reschedule of fired timer returned true")
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	k := NewKernel()
+	var fired []string
+	k.At(time.Second, "a", func() { fired = append(fired, "a") })
+	k.At(5*time.Second, "b", func() { fired = append(fired, "b") })
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired = %v, want [a]", fired)
+	}
+	if k.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want horizon 2s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v after full run", fired)
+	}
+}
+
+func TestRunUntilInclusiveOfHorizon(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.At(2*time.Second, "edge", func() { fired = true })
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel(WithMaxEvents(100))
+	var rearm func()
+	rearm = func() { k.After(time.Millisecond, "loop", rearm) }
+	k.After(time.Millisecond, "loop", rearm)
+	err := k.Run()
+	if !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("Executed = %d, want 100", k.Executed())
+	}
+}
+
+func TestEventLimitRunUntil(t *testing.T) {
+	k := NewKernel(WithMaxEvents(10))
+	var rearm func()
+	rearm = func() { k.After(time.Millisecond, "loop", rearm) }
+	k.After(time.Millisecond, "loop", rearm)
+	if err := k.RunUntil(time.Hour); !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		k := NewKernel(WithSeed(42))
+		var fires []time.Duration
+		var step func()
+		step = func() {
+			fires = append(fires, k.Now())
+			if len(fires) < 50 {
+				k.After(time.Duration(k.Rand().Intn(1000))*time.Millisecond, "step", step)
+			}
+		}
+		k.After(0, "step", step)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	k := NewKernel()
+	var names []string
+	k.SetTrace(func(_ time.Duration, name string) { names = append(names, name) })
+	k.At(time.Second, "one", func() {})
+	k.At(2*time.Second, "two", func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Fatalf("trace = %v", names)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.After(time.Duration(i)*time.Second, "e", func() {})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", k.Executed())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < 1000 {
+				k.After(time.Millisecond, "step", step)
+			}
+		}
+		k.After(0, "step", step)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

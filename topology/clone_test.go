@@ -1,0 +1,47 @@
+package topology
+
+import "testing"
+
+func TestCloneIndependence(t *testing.T) {
+	g, err := InternetDerived(DefaultInternetConfig(40, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone shape differs: %v vs %v", c, g)
+	}
+	for _, e := range g.Edges() {
+		if !c.HasEdge(e.A, e.B) {
+			t.Fatalf("clone missing edge %v", e)
+		}
+		if c.Relationship(e.A, e.B) != g.Relationship(e.A, e.B) {
+			t.Fatalf("clone relationship differs on %v", e)
+		}
+	}
+	// Mutating the clone must not affect the original.
+	n := c.AddNode()
+	if err := c.AddEdge(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == c.NumNodes() {
+		t.Fatal("AddNode on clone affected original")
+	}
+	if g.HasEdge(n, 0) {
+		t.Fatal("AddEdge on clone affected original")
+	}
+	if err := c.SetRelationship(n, 0, RelProvider); err != nil {
+		t.Fatal(err)
+	}
+	if g.Relationship(n, 0) != RelNone {
+		t.Fatal("SetRelationship on clone affected original")
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	g := New("empty", 0)
+	c := g.Clone()
+	if c.NumNodes() != 0 || c.NumEdges() != 0 || c.Name() != "empty" {
+		t.Fatalf("empty clone wrong: %v", c)
+	}
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. Relationship-annotated
+// edges are directed customer→provider with peer links drawn undirected
+// (dir=none), matching the usual AS-graph visual convention.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := strings.Map(func(r rune) rune {
+		if r == '-' || r == ' ' {
+			return '_'
+		}
+		return r
+	}, g.name)
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	for id := 0; id < g.NumNodes(); id++ {
+		fmt.Fprintf(bw, "  %d;\n", id)
+	}
+	for _, e := range g.edges {
+		switch g.Relationship(e.A, e.B) {
+		case RelProvider: // B provides for A: draw customer -> provider
+			fmt.Fprintf(bw, "  %d -- %d [label=\"c2p\"];\n", e.A, e.B)
+		case RelCustomer:
+			fmt.Fprintf(bw, "  %d -- %d [label=\"c2p\"];\n", e.B, e.A)
+		case RelPeer:
+			fmt.Fprintf(bw, "  %d -- %d [label=\"p2p\"];\n", e.A, e.B)
+		default:
+			fmt.Fprintf(bw, "  %d -- %d;\n", e.A, e.B)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteTSV emits one line per edge: "a<TAB>b<TAB>rel" where rel is a's view
+// of b ("none", "customer", "provider", "peer"). The node count is encoded in
+// a leading "#nodes N" comment so isolated trailing nodes survive a
+// round-trip.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#nodes\t%d\n", g.NumNodes())
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		fmt.Fprintf(bw, "%d\t%d\t%s\n", e.A, e.B, g.Relationship(e.A, e.B))
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format produced by WriteTSV.
+func ReadTSV(name string, r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if strings.HasPrefix(text, "#") {
+			if fields[0] == "#nodes" && len(fields) == 2 {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("topology: line %d: bad node count %q", line, fields[1])
+				}
+				g = New(name, n)
+			}
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("topology: line %d: edge before #nodes header", line)
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("topology: line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: bad node %q", line, fields[0])
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: bad node %q", line, fields[1])
+		}
+		if err := g.AddEdge(NodeID(a), NodeID(b)); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", line, err)
+		}
+		if len(fields) == 3 && fields[2] != "none" {
+			rel, err := parseRelationship(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", line, err)
+			}
+			if err := g.SetRelationship(NodeID(a), NodeID(b), rel); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("topology: empty input (missing #nodes header)")
+	}
+	return g, nil
+}
+
+func parseRelationship(s string) (Relationship, error) {
+	switch s {
+	case "none":
+		return RelNone, nil
+	case "customer":
+		return RelCustomer, nil
+	case "provider":
+		return RelProvider, nil
+	case "peer":
+		return RelPeer, nil
+	default:
+		return RelNone, fmt.Errorf("topology: unknown relationship %q", s)
+	}
+}

@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaxmanBasics(t *testing.T) {
+	g, err := Waxman(DefaultWaxmanConfig(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("waxman graph not connected")
+	}
+	if g.Annotated() {
+		t.Fatal("waxman graph should be unannotated")
+	}
+	// Density sanity: default parameters target average degree ~3-6.
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 1.5 || avg > 12 {
+		t.Fatalf("average degree %.1f out of sane band", avg)
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	a, err := Waxman(DefaultWaxmanConfig(60, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Waxman(DefaultWaxmanConfig(60, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c, err := Waxman(DefaultWaxmanConfig(60, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		ce := c.Edges()
+		for i := range ae {
+			if ae[i] != ce[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	if _, err := Waxman(WaxmanConfig{Nodes: 1, Alpha: 0.5, Beta: 0.5}); err == nil {
+		t.Fatal("1 node accepted")
+	}
+	if _, err := Waxman(WaxmanConfig{Nodes: 10, Alpha: 0, Beta: 0.5}); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := Waxman(WaxmanConfig{Nodes: 10, Alpha: 0.5, Beta: 1.5}); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+}
+
+func TestQuickWaxmanAlwaysConnected(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		g, err := Waxman(DefaultWaxmanConfig(n, seed))
+		return err == nil && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredShape(t *testing.T) {
+	cfg := DefaultTieredConfig(5)
+	g, err := Tiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Tier1 + cfg.Tier2*(1+cfg.StubsPerTier2)
+	if g.NumNodes() != want {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("tiered graph not connected")
+	}
+	if !g.Annotated() {
+		t.Fatal("tiered graph lacks annotations")
+	}
+	if err := ValleyFree(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredRelationshipStructure(t *testing.T) {
+	cfg := DefaultTieredConfig(7)
+	g, err := Tiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, c2p := 0, 0
+	for _, e := range g.Edges() {
+		switch g.Relationship(e.A, e.B) {
+		case RelPeer:
+			peers++
+		case RelCustomer, RelProvider:
+			c2p++
+		default:
+			t.Fatalf("edge %v unannotated", e)
+		}
+	}
+	// Peer links: exactly the tier-1 clique.
+	if wantPeers := cfg.Tier1 * (cfg.Tier1 - 1) / 2; peers != wantPeers {
+		t.Fatalf("peer links = %d, want %d", peers, wantPeers)
+	}
+	// Customer links: stubs have exactly one provider; tier-2s one or two.
+	minC2P := cfg.Tier2 + cfg.Tier2*cfg.StubsPerTier2
+	maxC2P := 2*cfg.Tier2 + cfg.Tier2*cfg.StubsPerTier2
+	if c2p < minC2P || c2p > maxC2P {
+		t.Fatalf("customer links = %d, want in [%d, %d]", c2p, minC2P, maxC2P)
+	}
+	// Tier-1 ASes (IDs 0..Tier1-1) must have no providers.
+	for id := 0; id < cfg.Tier1; id++ {
+		for _, nb := range g.Neighbors(NodeID(id)) {
+			if g.Relationship(NodeID(id), nb) == RelProvider {
+				t.Fatalf("tier-1 AS %d has a provider", id)
+			}
+		}
+	}
+}
+
+func TestTieredValidation(t *testing.T) {
+	bad := DefaultTieredConfig(1)
+	bad.Tier1 = 1
+	if _, err := Tiered(bad); err == nil {
+		t.Fatal("tier-1 size 1 accepted")
+	}
+	bad = DefaultTieredConfig(1)
+	bad.Tier2 = -1
+	if _, err := Tiered(bad); err == nil {
+		t.Fatal("negative tier-2 accepted")
+	}
+	bad = DefaultTieredConfig(1)
+	bad.StubsPerTier2 = -1
+	if _, err := Tiered(bad); err == nil {
+		t.Fatal("negative stubs accepted")
+	}
+}
+
+func TestTieredCoreOnly(t *testing.T) {
+	g, err := Tiered(TieredConfig{Tier1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("core-only graph: %v", g)
+	}
+	if err := ValleyFree(g); err != nil {
+		t.Fatal(err)
+	}
+}
