@@ -17,6 +17,7 @@ import (
 	"rfd/bgp"
 	"rfd/damping"
 	"rfd/experiment"
+	"rfd/faults"
 	"rfd/topology"
 )
 
@@ -330,6 +331,46 @@ func BenchmarkLabovitzEvents(b *testing.B) {
 	for _, r := range rows {
 		b.ReportMetric(r.Convergence.Seconds(), r.Event+"_s")
 	}
+}
+
+// BenchmarkFaultySweep measures the fault-injection path: a 5×5 torus under
+// 1 % uniform message loss with three session resets during the flap phase,
+// drained by the convergence watchdog. drops counts impaired and severed
+// messages; checks the watchdog's quiescent-instant consistency checks.
+func BenchmarkFaultySweep(b *testing.B) {
+	g, err := topology.Torus(5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		imp := faults.NewImpairments(1)
+		if err := imp.SetDefault(faults.Profile{Loss: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+		sc := experiment.Scenario{
+			Graph:  g,
+			ISP:    0,
+			Config: ciscoConfig(),
+			Pulses: 2,
+			Impair: imp,
+			Faults: faults.NewPlan(
+				faults.ResetSession(30*time.Second, 0, 1),
+				faults.ResetSession(90*time.Second, 5, 6),
+				faults.ResetSession(150*time.Second, 12, 13),
+			),
+			Watchdog: &faults.WatchdogConfig{},
+		}
+		res, err = experiment.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ConvergenceTime.Seconds(), "conv_s")
+	b.ReportMetric(float64(res.MessageCount), "msgs")
+	b.ReportMetric(float64(res.MaxDamped), "damped")
+	b.ReportMetric(float64(res.Dropped), "drops")
+	b.ReportMetric(float64(res.FaultReport.Checks), "checks")
 }
 
 // BenchmarkEngineEventThroughput measures raw simulator speed: events/s on

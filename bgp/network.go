@@ -32,6 +32,16 @@ type direction struct {
 	from, to RouterID
 }
 
+// LinkImpairment decides the fate of individual messages on otherwise
+// healthy links: loss (drop=true) and extra delivery delay (jitter). The
+// engine consults it exactly once per message at send time, in deterministic
+// order, so an implementation driven by a seeded RNG keeps runs exactly
+// reproducible. extraDelay must be non-negative. Implementations must not
+// mutate the network. Package faults provides the standard implementation.
+type LinkImpairment interface {
+	Impair(at time.Duration, from, to RouterID) (drop bool, extraDelay time.Duration)
+}
+
 // Network wires routers built from a topology onto a simulation kernel.
 type Network struct {
 	kernel  *sim.Kernel
@@ -46,11 +56,29 @@ type Network struct {
 	// downLinks marks failed links (keyed with from < to). Messages sent or
 	// in flight on a failed link are lost, as with a broken TCP session.
 	downLinks map[direction]bool
+	// sessionGen is a per-link session generation (keyed with from < to).
+	// Every session-severing fault — link failure, session reset, router
+	// crash — bumps it; deliveries stamped with an older generation are
+	// dropped, so messages in flight when a session dies never arrive, even
+	// when the session is re-established before their scheduled arrival.
+	sessionGen map[direction]uint64
+	// downRouters marks crashed routers. A crashed router holds no sessions:
+	// nothing is sent to or from it until RestartRouter.
+	downRouters map[RouterID]bool
+	// impair, when non-nil, is consulted once per message sent on a healthy
+	// session (loss and jitter injection).
+	impair LinkImpairment
+	// pendingDeliveries counts scheduled bgp.deliver events not yet fired
+	// (including ones that will be dropped on arrival).
+	pendingDeliveries int
 
 	hooks Hooks
 
 	// delivered counts update messages delivered since the last ResetCounters.
 	delivered uint64
+	// dropped counts messages lost to link failures, session churn, router
+	// crashes or impairment since the last ResetCounters.
+	dropped uint64
 	// lastDelivery is the virtual time of the most recent delivery.
 	lastDelivery time.Duration
 }
@@ -84,6 +112,8 @@ func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) 
 		linkDelay:   make(map[direction]time.Duration, 2*g.NumEdges()),
 		lastArrival: make(map[direction]time.Duration, 2*g.NumEdges()),
 		downLinks:   make(map[direction]bool),
+		sessionGen:  make(map[direction]uint64),
+		downRouters: make(map[RouterID]bool),
 	}
 	rng := xrand.New(cfg.Seed)
 	for _, e := range g.Edges() {
@@ -125,18 +155,59 @@ func (n *Network) Router(id RouterID) *Router {
 // SetHooks installs observation hooks (replacing any previous ones).
 func (n *Network) SetHooks(h Hooks) { n.hooks = h }
 
+// SetImpairment installs (or, with nil, removes) the message impairment
+// model consulted on every send. Install it only while the network is
+// quiescent: changing the model mid-flight does not affect messages already
+// scheduled, but swapping RNG-backed models at arbitrary points makes runs
+// hard to reason about.
+func (n *Network) SetImpairment(imp LinkImpairment) { n.impair = imp }
+
 // Delivered returns the number of update messages delivered since the last
 // ResetCounters call.
 func (n *Network) Delivered() uint64 { return n.delivered }
 
+// Dropped returns the number of messages lost — to link failures, session
+// churn, router crashes or impairment — since the last ResetCounters call.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
 // LastDelivery returns the virtual time of the most recent message delivery.
 func (n *Network) LastDelivery() time.Duration { return n.lastDelivery }
 
-// ResetCounters zeroes the delivered-message counter and last-delivery time.
-// Experiments call it after warm-up so metrics cover only the flap phase.
+// ResetCounters zeroes the delivered/dropped counters and last-delivery
+// time. Experiments call it after warm-up so metrics cover only the flap
+// phase.
 func (n *Network) ResetCounters() {
 	n.delivered = 0
+	n.dropped = 0
 	n.lastDelivery = 0
+}
+
+// Quiescent reports whether no bgp.deliver events are pending: nothing is in
+// flight, so no router can receive input before the next timer (MRAI, reuse)
+// or external fault fires. Consistency checks are meaningful only then.
+func (n *Network) Quiescent() bool { return n.pendingDeliveries == 0 }
+
+// PendingDeliveries returns the number of scheduled bgp.deliver events that
+// have not yet fired (messages in flight, including ones that will be
+// dropped on arrival because their session died).
+func (n *Network) PendingDeliveries() int { return n.pendingDeliveries }
+
+// PendingAnnouncements returns the number of (router, peer, prefix)
+// announcements currently held back by MRAI timers. Together with Quiescent
+// it tells the convergence watchdog whether the protocol can still act
+// before the next damping-reuse instant without further external input.
+func (n *Network) PendingAnnouncements() int {
+	total := 0
+	for _, r := range n.routers {
+		for _, p := range r.peers {
+			for _, o := range r.ribOut[p] {
+				if o.pending {
+					total++
+				}
+			}
+		}
+	}
+	return total
 }
 
 // ResetDamping clears every router's damping state and RCN history. The
@@ -170,12 +241,41 @@ func linkKey(a, b RouterID) direction {
 }
 
 // LinkUp reports whether the link between a and b is currently up (false
-// also for nonexistent links).
+// also for nonexistent links). A link can be up while no session runs over
+// it — when an endpoint router is crashed; see SessionUp.
 func (n *Network) LinkUp(a, b RouterID) bool {
 	if _, ok := n.linkDelay[direction{a, b}]; !ok {
 		return false
 	}
 	return !n.downLinks[linkKey(a, b)]
+}
+
+// SessionUp reports whether a BGP session is currently established between
+// a and b: the link exists and is up, and both routers are running.
+func (n *Network) SessionUp(a, b RouterID) bool {
+	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+		return false
+	}
+	return !n.downLinks[linkKey(a, b)] && !n.downRouters[a] && !n.downRouters[b]
+}
+
+// RouterUp reports whether router id is running (false for out-of-range
+// ids).
+func (n *Network) RouterUp(id RouterID) bool {
+	if id < 0 || int(id) >= len(n.routers) {
+		return false
+	}
+	return !n.downRouters[id]
+}
+
+// severSession invalidates messages in flight on the a-b link and clears its
+// FIFO serialization state: whatever was in flight is lost with the session,
+// and post-recovery traffic must not be serialized behind the arrival times
+// of messages that were lost.
+func (n *Network) severSession(a, b RouterID) {
+	n.sessionGen[linkKey(a, b)]++
+	delete(n.lastArrival, direction{a, b})
+	delete(n.lastArrival, direction{b, a})
 }
 
 // SetLinkState fails (up=false) or restores (up=true) the link between a
@@ -204,39 +304,138 @@ func (n *Network) SetLinkState(a, b RouterID, up bool) error {
 		n.routers[b].peerUp(a)
 	} else {
 		n.downLinks[key] = true
+		n.severSession(a, b)
 		n.routers[a].peerDown(b)
 		n.routers[b].peerDown(a)
 	}
 	return nil
 }
 
+// ResetSession models a BGP session reset on the a-b link (the TCP
+// connection drops and immediately re-establishes): messages in flight are
+// lost, both ends flush the session's RIB-IN — treating every route learned
+// over it as withdrawn, which charges damping exactly like real session
+// churn — and RIB-OUT, then re-advertise their current best routes per the
+// export policy. Resetting a session that is not established (link down or
+// an endpoint crashed) is a no-op; unknown links return an error.
+func (n *Network) ResetSession(a, b RouterID) error {
+	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+		return fmt.Errorf("bgp: no link %d-%d", a, b)
+	}
+	if !n.SessionUp(a, b) {
+		return nil
+	}
+	n.severSession(a, b)
+	n.routers[a].peerDown(b)
+	n.routers[b].peerDown(a)
+	n.routers[a].peerUp(b)
+	n.routers[b].peerUp(a)
+	return nil
+}
+
+// CrashRouter fails router id: every session it holds drops (peers withdraw
+// the routes learned from it, charging damping), messages in flight to and
+// from it are lost, and its entire protocol state — RIB-IN, Local-RIB,
+// RIB-OUT, damping state, pending timers — is discarded. Only the origin
+// set survives, modelling static configuration that outlives a reboot.
+// Crashing a crashed router is a no-op; out-of-range ids return an error.
+func (n *Network) CrashRouter(id RouterID) error {
+	if id < 0 || int(id) >= len(n.routers) {
+		return fmt.Errorf("bgp: no router %d", id)
+	}
+	if n.downRouters[id] {
+		return nil
+	}
+	r := n.routers[id]
+	// Mark the router dead and sever its sessions first, so nothing the
+	// peers do below can reach it.
+	n.downRouters[id] = true
+	for _, q := range r.peers {
+		n.severSession(id, q)
+	}
+	r.crash()
+	for _, q := range r.peers {
+		if n.downLinks[linkKey(id, q)] || n.downRouters[q] {
+			// No session was established, so the peer has nothing to
+			// withdraw.
+			continue
+		}
+		n.routers[q].peerDown(id)
+	}
+	return nil
+}
+
+// RestartRouter boots a crashed router: it comes back with empty RIBs,
+// re-originates its configured origin set, and re-establishes every session
+// whose link is up — both ends re-advertise per the export policy, as after
+// a link recovery. Restarting a running router is a no-op; out-of-range ids
+// return an error.
+func (n *Network) RestartRouter(id RouterID) error {
+	if id < 0 || int(id) >= len(n.routers) {
+		return fmt.Errorf("bgp: no router %d", id)
+	}
+	if !n.downRouters[id] {
+		return nil
+	}
+	delete(n.downRouters, id)
+	r := n.routers[id]
+	r.restart()
+	for _, q := range r.peers {
+		if !n.SessionUp(id, q) {
+			continue
+		}
+		n.routers[q].peerUp(id)
+	}
+	return nil
+}
+
 // send schedules delivery of msg across the directed link (msg.From,
 // msg.To). The message leaves after the sender's processing delay and
-// arrives after the link's propagation delay; FIFO order per direction is
-// enforced so updates never overtake each other within a session. Messages
-// sent on a failed link are lost.
+// arrives after the link's propagation delay plus any impairment jitter;
+// FIFO order per direction is enforced so updates never overtake each other
+// within a session. Messages sent while no session is established, or
+// dropped by the impairment model, are lost.
 func (n *Network) send(msg Message) {
 	dir := direction{msg.From, msg.To}
 	delay, ok := n.linkDelay[dir]
 	if !ok {
 		panic(fmt.Sprintf("bgp: send on nonexistent link %d->%d", msg.From, msg.To))
 	}
-	if n.downLinks[linkKey(msg.From, msg.To)] {
+	if !n.SessionUp(msg.From, msg.To) {
 		return
 	}
+	var extra time.Duration
+	if n.impair != nil {
+		drop, jitter := n.impair.Impair(n.kernel.Now(), msg.From, msg.To)
+		if drop {
+			n.dropped++
+			return
+		}
+		if jitter < 0 {
+			panic(fmt.Sprintf("bgp: negative impairment jitter %v on %d->%d", jitter, msg.From, msg.To))
+		}
+		extra = jitter
+	}
 	sender := n.routers[msg.From]
-	at := n.kernel.Now() + sender.procDelay() + delay
+	at := n.kernel.Now() + sender.procDelay() + delay + extra
 	if last := n.lastArrival[dir]; at <= last {
 		at = last + time.Nanosecond
 	}
 	n.lastArrival[dir] = at
-	n.kernel.At(at, "bgp.deliver", func() { n.deliver(msg) })
+	gen := n.sessionGen[linkKey(msg.From, msg.To)]
+	n.pendingDeliveries++
+	n.kernel.At(at, "bgp.deliver", func() { n.deliver(msg, gen) })
 }
 
 // deliver counts the message, notifies hooks, and hands it to the receiver.
-// Messages whose link failed while they were in flight are lost.
-func (n *Network) deliver(msg Message) {
-	if n.downLinks[linkKey(msg.From, msg.To)] {
+// Messages whose session died while they were in flight — link failure,
+// session reset, or a crash of either endpoint — are lost, even when the
+// session has since been re-established (gen identifies the incarnation the
+// message was sent on).
+func (n *Network) deliver(msg Message, gen uint64) {
+	n.pendingDeliveries--
+	if n.sessionGen[linkKey(msg.From, msg.To)] != gen || !n.SessionUp(msg.From, msg.To) {
+		n.dropped++
 		return
 	}
 	n.delivered++
@@ -248,19 +447,33 @@ func (n *Network) deliver(msg Message) {
 }
 
 // CheckConsistency verifies steady-state invariants and returns the first
-// violation found. It is meaningful only when the kernel's queue holds no
-// pending deliveries (i.e. the network is quiescent):
+// violation found. It is meaningful only when no deliveries are pending
+// (the network is quiescent), and returns a distinct error when invoked on a
+// non-quiescent network — call Quiescent first, or use the faults package's
+// convergence watchdog, which checks only at quiescent instants:
 //
 //   - what every router believes it advertised (RIB-OUT) equals what the
 //     peer holds in its RIB-IN for that session;
 //   - every Local-RIB entry equals the decision process re-run over the
 //     current RIB-INs.
+//
+// Note that lossy impairment (package faults) genuinely breaks the RIB-OUT /
+// RIB-IN invariant: a dropped update is never retransmitted, so the peers
+// disagree until the session next resets. CheckConsistency reporting such a
+// divergence is the fault model working as intended.
 func (n *Network) CheckConsistency() error {
+	if !n.Quiescent() {
+		return fmt.Errorf("bgp: consistency check on a non-quiescent network (%d deliveries in flight)", n.pendingDeliveries)
+	}
 	for _, r := range n.routers {
+		if n.downRouters[r.id] {
+			// A crashed router holds no state to be consistent about.
+			continue
+		}
 		for _, q := range r.peers {
-			if n.downLinks[linkKey(r.id, q)] {
+			if !n.SessionUp(r.id, q) {
 				// No session: the peers legitimately disagree until the
-				// link recovers.
+				// link recovers or the crashed endpoint restarts.
 				continue
 			}
 			peer := n.routers[q]

@@ -491,6 +491,15 @@ func (r *Router) exportPath(q RouterID, prefix Prefix) Path {
 // export decision. Withdrawals leave immediately; announcements respect the
 // MRAI timer (pending until it fires).
 func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
+	if !r.net.SessionUp(r.id, q) {
+		// No established session: nothing to synchronize. RIB-OUT state for
+		// the session was discarded when it went down, and recording a new
+		// advertisement here would desynchronize the RIBs — the message
+		// would be lost in send, and the recovery re-sync (peerUp) would
+		// then skip the route as already advertised. The recovery path
+		// re-syncs from scratch instead.
+		return
+	}
 	out := r.outEntry(q, prefix)
 	desired := r.exportPath(q, prefix)
 	switch {
@@ -555,6 +564,43 @@ func (r *Router) resetDamping() {
 			e.reuseTimer = nil
 		}
 		r.history[p] = rcn.NewHistory(r.net.cfg.RCNHistorySize)
+	}
+}
+
+// crash discards the router's entire protocol state — RIB-IN, RIB-OUT,
+// Local-RIB, damping state, RCN histories — and cancels every pending timer.
+// Only the origin set and the RCN sequencers survive: the former models
+// static configuration that outlives a reboot, the latter keeps root-cause
+// sequence numbers monotonic across the restart.
+func (r *Router) crash() {
+	for _, p := range r.peers {
+		for _, e := range r.ribIn[p] {
+			e.reuseTimer.Cancel()
+		}
+		for _, o := range r.ribOut[p] {
+			o.mrai.Cancel()
+		}
+		r.ribIn[p] = make(map[Prefix]*ribInEntry)
+		r.ribOut[p] = make(map[Prefix]*ribOutEntry)
+		r.history[p] = rcn.NewHistory(r.net.cfg.RCNHistorySize)
+	}
+	r.local = make(map[Prefix]localEntry)
+}
+
+// restart rebuilds the router after a crash: it re-runs origination for its
+// configured prefixes, announcing them to whichever peers it currently has
+// sessions with. Routes from peers arrive as the peers re-advertise
+// (Network.RestartRouter drives that side).
+func (r *Router) restart() {
+	prefixes := make([]Prefix, 0, len(r.originated))
+	for p, on := range r.originated {
+		if on {
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	for _, prefix := range prefixes {
+		r.reconcile(prefix, r.originationCause(prefix, rcn.LinkUp))
 	}
 }
 

@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rfdfig", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | all")
+		fig    = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | events | loss | all")
 		outDir = fs.String("out", "", "directory for CSV output (stdout when empty)")
 		small  = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
 		seed   = fs.Uint64("seed", 1, "random seed")
@@ -68,6 +68,7 @@ func run(args []string) error {
 		"intervals":  g.intervals,
 		"sizes":      g.sizes,
 		"events":     g.events,
+		"loss":       g.loss,
 	} {
 		if all || *fig == name {
 			ran = true
@@ -349,6 +350,30 @@ func (g *generator) events() error {
 		return err
 	}
 	return done()
+}
+
+func (g *generator) loss() error {
+	rows, err := experiment.LossSweep(g.opts, experiment.DefaultLossRates, 2)
+	if err != nil {
+		return err
+	}
+	w, done, err := g.sink("ext_loss.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteLossCSV(w, rows); err != nil {
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("loss %5.1f%%: plain %4.0f s (%s), damped %4.0f s peak %d damped links (%s), %d+%d dropped\n",
+			r.Rate*100, r.Plain.Conv.Seconds(), r.Plain.Outcome,
+			r.Damped.Conv.Seconds(), r.Damped.MaxDamped, r.Damped.Outcome,
+			r.Plain.Dropped, r.Damped.Dropped)
+	}
+	return nil
 }
 
 func (g *generator) fig15() error {

@@ -8,6 +8,8 @@
 //	rfdsim -pulses 5 -rcn                     # RCN-enhanced damping
 //	rfdsim -topology internet -nodes 208 -policy novalley -pulses 3
 //	rfdsim -damping off -pulses 3             # plain BGP baseline
+//	rfdsim -pulses 3 -loss 0.01 -jitter 5ms   # 1% message loss, 5ms delay jitter
+//	rfdsim -pulses 1 -faults plan.txt         # scripted faults (see faults.ParsePlan)
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"rfd/bgp"
 	"rfd/damping"
 	"rfd/experiment"
+	"rfd/faults"
 	"rfd/topology"
 	"rfd/trace"
 )
@@ -47,6 +50,9 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		verbose   = fs.Bool("v", false, "print the update series summary")
 		traceFile = fs.String("trace", "", "write a JSONL event trace to this file")
+		faultFile = fs.String("faults", "", "apply the fault plan in this file (faults.ParsePlan format)")
+		loss      = fs.Float64("loss", 0, "uniform message-loss probability in [0, 1]")
+		jitter    = fs.Duration("jitter", 0, "maximum extra per-message delay (uniform in [0, jitter))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +101,29 @@ func run(args []string) error {
 	if *traceFile != "" {
 		sc.Trace = trace.NewLog(0)
 	}
+	if *loss > 0 || *jitter > 0 || *faultFile != "" {
+		imp := faults.NewImpairments(*seed)
+		if err := imp.SetDefault(faults.Profile{Loss: *loss, MaxJitter: *jitter}); err != nil {
+			return err
+		}
+		sc.Impair = imp
+		// Faulty runs drain under the watchdog: consistency is checked at
+		// quiescent instants and a livelock aborts with a diagnosis instead
+		// of burning the kernel's event limit.
+		sc.Watchdog = &faults.WatchdogConfig{}
+		if *faultFile != "" {
+			f, err := os.Open(*faultFile)
+			if err != nil {
+				return err
+			}
+			plan, err := faults.ParsePlan(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			sc.Faults = plan
+		}
+	}
 	start := time.Now()
 	res, err := experiment.Run(sc)
 	if err != nil {
@@ -125,6 +154,15 @@ func run(args []string) error {
 	fmt.Printf("origin suppressed %t\n", res.OriginSuppressed)
 	fmt.Printf("reuses            %d noisy, %d silent\n", res.NoisyReuses, res.SilentReuses)
 	fmt.Printf("phases            %s\n", res.Phases)
+	if res.FaultReport != nil {
+		fmt.Printf("messages dropped  %d\n", res.Dropped)
+		fmt.Printf("watchdog          %s\n", res.FaultReport)
+		if res.FaultReport.Outcome != faults.Converged {
+			for _, e := range res.FaultReport.Recent {
+				fmt.Printf("  recent event    %v %s\n", e.At, e.Name)
+			}
+		}
+	}
 	fmt.Printf("wall time         %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *verbose {

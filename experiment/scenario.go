@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rfd/bgp"
+	"rfd/faults"
 	"rfd/metrics"
 	"rfd/sim"
 	"rfd/topology"
@@ -66,6 +67,20 @@ type Scenario struct {
 	// Trace, when non-nil, records every flap-phase event into the log
 	// (times are flap-relative, like all Result times).
 	Trace *trace.Log
+	// Impair, when non-nil, is installed on the network after warm-up, so
+	// the flap phase and drain run under message loss / delay jitter while
+	// the warm-up stays clean. A lossy run may legitimately end with
+	// divergent RIBs (dropped updates are never retransmitted), so the
+	// post-run consistency check is fatal only when Impair is nil.
+	Impair *faults.Impairments
+	// Faults, when non-nil, is applied after warm-up with the first flap as
+	// its epoch: every Event.At is relative to the same clock zero as the
+	// Result times.
+	Faults *faults.Plan
+	// Watchdog, when non-nil, drains the run under the convergence watchdog
+	// instead of a bare kernel run: quiescent-instant consistency checks,
+	// livelock abort, and a FaultReport on the Result.
+	Watchdog *faults.WatchdogConfig
 }
 
 // OriginID returns the router ID the attached originAS will receive: the
@@ -140,6 +155,12 @@ type Result struct {
 	// delivered and every reuse timer fired), on the same flap-relative
 	// clock.
 	EndTime time.Duration
+	// Dropped counts messages lost to impairments, session churn, and
+	// crashes (zero in a fault-free run).
+	Dropped uint64
+	// FaultReport is the watchdog's verdict when Scenario.Watchdog was set,
+	// nil otherwise.
+	FaultReport *faults.Report
 }
 
 // Run executes the scenario and returns its measurements. The run is a pure
@@ -246,6 +267,17 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	n.SetHooks(hooks)
 
+	// Fault injection: impairments and the fault plan come alive at the
+	// epoch, after the clean warm-up, sharing the Result clock zero.
+	if sc.Impair != nil {
+		n.SetImpairment(sc.Impair)
+	}
+	if sc.Faults != nil {
+		if err := sc.Faults.Apply(n, epoch, sc.Impair); err != nil {
+			return nil, fmt.Errorf("experiment: fault plan: %w", err)
+		}
+	}
+
 	// Flap phase.
 	flapDown := func() error {
 		if sc.FlapViaLink {
@@ -283,11 +315,20 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	// Drain: every in-flight update and every reuse timer fires within the
-	// max hold-down horizon.
-	if err := k.Run(); err != nil {
+	// max hold-down horizon. With a watchdog the drain is supervised —
+	// quiescent-instant consistency checks and a livelock abort instead of
+	// burning the kernel's whole event budget.
+	if sc.Watchdog != nil {
+		rep := faults.Watch(n, *sc.Watchdog)
+		res.FaultReport = rep
+		if rep.Outcome == faults.Livelock {
+			return nil, fmt.Errorf("experiment: drain: %s", rep)
+		}
+	} else if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("experiment: drain: %w", err)
 	}
 	res.EndTime = k.Now() - epoch
+	res.Dropped = n.Dropped()
 	res.MessageCount = res.Updates.Count()
 	if last, ok := res.Updates.Last(); ok && last > res.FlapEnd {
 		res.ConvergenceTime = last - res.FlapEnd
@@ -295,7 +336,15 @@ func Run(sc Scenario) (*Result, error) {
 	res.MaxDamped = res.Damped.Max()
 	res.Phases = metrics.ComputePhases(res.Updates, res.NoisyReuseTimes, res.FlapStart, res.FlapEnd)
 
-	if err := n.CheckConsistency(); err != nil {
+	// The watchdog already ran the final consistency check (its verdict is
+	// on the Result). Without one, run it here — but a lossy run may
+	// legitimately diverge, so the failure is fatal only when no impairment
+	// was configured.
+	if sc.Watchdog != nil {
+		if res.FaultReport.Outcome == faults.Diverged && sc.Impair == nil {
+			return nil, fmt.Errorf("experiment: post-run consistency: %w", res.FaultReport.Err)
+		}
+	} else if err := n.CheckConsistency(); err != nil && sc.Impair == nil {
 		return nil, fmt.Errorf("experiment: post-run consistency: %w", err)
 	}
 	return res, nil

@@ -1,0 +1,287 @@
+// Package faults is the deterministic fault-injection subsystem for the
+// route-flap-damping simulator. It answers the robustness question the
+// paper's idealized setup leaves open — do the timer interactions survive
+// realistic impairments? — by perturbing a bgp.Network in three ways:
+//
+//   - Impairments: per-direction message loss, delay jitter, and burst-loss
+//     windows, driven by a seeded RNG so runs stay exactly reproducible
+//     (bgp.LinkImpairment is consulted in deterministic send order).
+//   - A Plan of typed, scheduled fault events: link flaps, session resets,
+//     router crash/restart, and loss windows, replacing ad-hoc SetLinkState
+//     scripting in experiments and cmd/rfdsim.
+//   - A convergence Watchdog that detects quiescence, runs consistency
+//     checks only then, and reports divergence or livelock with a
+//     bounded-event diagnosis instead of silently running to the kernel's
+//     event limit.
+//
+// Everything here is deterministic: the same seed and the same Plan yield
+// byte-identical event traces, including runs with loss, session resets and
+// router crashes.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/bgp"
+)
+
+// Wildcard, as an endpoint of a LossWindow event, matches every router.
+const Wildcard = bgp.RouterID(-1)
+
+// Kind enumerates fault event types.
+type Kind int
+
+const (
+	// KindLinkDown fails the A-B link at At (messages in flight are lost,
+	// both ends withdraw, charging damping).
+	KindLinkDown Kind = iota + 1
+	// KindLinkUp restores the A-B link at At (both ends re-advertise).
+	KindLinkUp
+	// KindLinkFlap fails the A-B link at At and restores it Duration later.
+	KindLinkFlap
+	// KindSessionReset drops and immediately re-establishes the A-B session
+	// at At: in-flight messages are lost, both ends flush the session RIBs
+	// (charging damping like real session churn) and re-advertise.
+	KindSessionReset
+	// KindRouterCrash crashes Router at At; if Duration > 0 it restarts
+	// Duration later, otherwise it stays down.
+	KindRouterCrash
+	// KindRouterRestart restarts a crashed Router at At.
+	KindRouterRestart
+	// KindLossWindow forces a message-loss rate of Rate on the A-B link
+	// (both directions), or network-wide when both endpoints are Wildcard,
+	// during [At, At+Duration). Requires an Impairments model at Apply.
+	KindLossWindow
+)
+
+// String names the kind (also the verb of the Plan text format).
+func (k Kind) String() string {
+	switch k {
+	case KindLinkDown:
+		return "down"
+	case KindLinkUp:
+		return "up"
+	case KindLinkFlap:
+		return "flap"
+	case KindSessionReset:
+		return "reset"
+	case KindRouterCrash:
+		return "crash"
+	case KindRouterRestart:
+		return "restart"
+	case KindLossWindow:
+		return "loss"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Construct with the typed helpers (FlapLink,
+// ResetSession, CrashRouter, …); the zero value is invalid.
+type Event struct {
+	// At is when the fault fires, relative to the plan epoch (the instant
+	// Apply anchors the plan at — experiments use the end of warm-up).
+	At time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// A and B are the link endpoints for link and session events, or the
+	// scope of a LossWindow (Wildcard/Wildcard = network-wide).
+	A, B bgp.RouterID
+	// Router is the target of crash/restart events.
+	Router bgp.RouterID
+	// Duration is the flap down-time, crash outage (0 = stays down), or
+	// loss-window length.
+	Duration time.Duration
+	// Rate is the loss probability of a LossWindow, in [0, 1].
+	Rate float64
+}
+
+// String renders the event in the Plan text format (see ParsePlan).
+func (e Event) String() string {
+	switch e.Kind {
+	case KindLinkDown, KindLinkUp, KindSessionReset:
+		return fmt.Sprintf("%s %s %d %d", e.At, e.Kind, e.A, e.B)
+	case KindLinkFlap:
+		return fmt.Sprintf("%s %s %d %d %s", e.At, e.Kind, e.A, e.B, e.Duration)
+	case KindRouterCrash:
+		return fmt.Sprintf("%s %s %d %s", e.At, e.Kind, e.Router, e.Duration)
+	case KindRouterRestart:
+		return fmt.Sprintf("%s %s %d", e.At, e.Kind, e.Router)
+	case KindLossWindow:
+		if e.A == Wildcard && e.B == Wildcard {
+			return fmt.Sprintf("%s %s %s %g", e.At, e.Kind, e.Duration, e.Rate)
+		}
+		return fmt.Sprintf("%s %s %s %g %d %d", e.At, e.Kind, e.Duration, e.Rate, e.A, e.B)
+	default:
+		return fmt.Sprintf("%s %s", e.At, e.Kind)
+	}
+}
+
+// FailLink fails the a-b link at the given instant.
+func FailLink(at time.Duration, a, b bgp.RouterID) Event {
+	return Event{At: at, Kind: KindLinkDown, A: a, B: b}
+}
+
+// RestoreLink restores the a-b link at the given instant.
+func RestoreLink(at time.Duration, a, b bgp.RouterID) Event {
+	return Event{At: at, Kind: KindLinkUp, A: a, B: b}
+}
+
+// FlapLink fails the a-b link at the given instant and restores it downFor
+// later.
+func FlapLink(at time.Duration, a, b bgp.RouterID, downFor time.Duration) Event {
+	return Event{At: at, Kind: KindLinkFlap, A: a, B: b, Duration: downFor}
+}
+
+// ResetSession resets the a-b BGP session at the given instant.
+func ResetSession(at time.Duration, a, b bgp.RouterID) Event {
+	return Event{At: at, Kind: KindSessionReset, A: a, B: b}
+}
+
+// CrashRouter crashes router id at the given instant; with downFor > 0 it
+// restarts downFor later, with downFor == 0 it stays down.
+func CrashRouter(at time.Duration, id bgp.RouterID, downFor time.Duration) Event {
+	return Event{At: at, Kind: KindRouterCrash, Router: id, Duration: downFor}
+}
+
+// RestartRouter restarts a crashed router id at the given instant.
+func RestartRouter(at time.Duration, id bgp.RouterID) Event {
+	return Event{At: at, Kind: KindRouterRestart, Router: id}
+}
+
+// NetworkLoss forces every link to lose messages with probability rate
+// during [at, at+dur) — a network-wide burst outage when rate is 1.
+func NetworkLoss(at, dur time.Duration, rate float64) Event {
+	return Event{At: at, Kind: KindLossWindow, A: Wildcard, B: Wildcard, Duration: dur, Rate: rate}
+}
+
+// LinkLoss forces the a-b link (both directions) to lose messages with
+// probability rate during [at, at+dur).
+func LinkLoss(at, dur time.Duration, rate float64, a, b bgp.RouterID) Event {
+	return Event{At: at, Kind: KindLossWindow, A: a, B: b, Duration: dur, Rate: rate}
+}
+
+// Plan is a composable fault scenario: a set of typed events applied to one
+// network run. Plans are plain data — build them with NewPlan/Add, parse
+// them with ParsePlan, and hand them to Apply (or let experiment.Scenario
+// and cmd/rfdsim do so).
+type Plan struct {
+	Events []Event
+}
+
+// NewPlan builds a plan from the given events.
+func NewPlan(events ...Event) *Plan {
+	return &Plan{Events: events}
+}
+
+// Add appends events and returns the plan for chaining.
+func (p *Plan) Add(events ...Event) *Plan {
+	p.Events = append(p.Events, events...)
+	return p
+}
+
+// Validate checks every event against the network: link events must name
+// existing links, router events existing routers, rates must lie in [0, 1]
+// and times must be non-negative. A nil network skips the topology checks.
+func (p *Plan) Validate(n *bgp.Network) error {
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative time", i, e)
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative duration", i, e)
+		}
+		switch e.Kind {
+		case KindLinkDown, KindLinkUp, KindSessionReset, KindLinkFlap:
+			if n != nil && !linkExists(n, e.A, e.B) {
+				return fmt.Errorf("faults: event %d (%s): no link %d-%d", i, e, e.A, e.B)
+			}
+		case KindRouterCrash, KindRouterRestart:
+			if n != nil && n.Router(e.Router) == nil {
+				return fmt.Errorf("faults: event %d (%s): no router %d", i, e, e.Router)
+			}
+		case KindLossWindow:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("faults: event %d (%s): rate %g outside [0, 1]", i, e, e.Rate)
+			}
+			wild := e.A == Wildcard && e.B == Wildcard
+			if !wild && n != nil && !linkExists(n, e.A, e.B) {
+				return fmt.Errorf("faults: event %d (%s): no link %d-%d", i, e, e.A, e.B)
+			}
+			if e.Duration == 0 {
+				return fmt.Errorf("faults: event %d (%s): zero-length loss window", i, e)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %v", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// linkExists reports whether the topology has an a-b link regardless of its
+// current up/down state.
+func linkExists(n *bgp.Network, a, b bgp.RouterID) bool {
+	ra := n.Router(a)
+	if ra == nil || n.Router(b) == nil {
+		return false
+	}
+	for _, q := range ra.Peers() {
+		if q == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply validates the plan and schedules its events on the network's kernel,
+// each at epoch+Event.At (epoch must not precede the kernel's current time).
+// LossWindow events are folded into imp instead of scheduled; a plan that
+// contains them requires a non-nil imp, which must also be installed on the
+// network (bgp.Network.SetImpairment) for the windows to take effect.
+func (p *Plan) Apply(n *bgp.Network, epoch time.Duration, imp *Impairments) error {
+	if err := p.Validate(n); err != nil {
+		return err
+	}
+	k := n.Kernel()
+	if epoch < k.Now() {
+		return fmt.Errorf("faults: epoch %v precedes kernel time %v", epoch, k.Now())
+	}
+	// The network entry points error only on unknown links/routers, which
+	// Validate has ruled out; overlapping faults (crashing a crashed router,
+	// failing a failed link) are defined no-ops, so the callbacks have no
+	// error to surface.
+	for _, e := range p.Events {
+		e := e
+		at := epoch + e.At
+		switch e.Kind {
+		case KindLinkDown:
+			k.At(at, "faults.down", func() { n.SetLinkState(e.A, e.B, false) })
+		case KindLinkUp:
+			k.At(at, "faults.up", func() { n.SetLinkState(e.A, e.B, true) })
+		case KindLinkFlap:
+			k.At(at, "faults.down", func() { n.SetLinkState(e.A, e.B, false) })
+			k.At(at+e.Duration, "faults.up", func() { n.SetLinkState(e.A, e.B, true) })
+		case KindSessionReset:
+			k.At(at, "faults.reset", func() { n.ResetSession(e.A, e.B) })
+		case KindRouterCrash:
+			k.At(at, "faults.crash", func() { n.CrashRouter(e.Router) })
+			if e.Duration > 0 {
+				k.At(at+e.Duration, "faults.restart", func() { n.RestartRouter(e.Router) })
+			}
+		case KindRouterRestart:
+			k.At(at, "faults.restart", func() { n.RestartRouter(e.Router) })
+		case KindLossWindow:
+			if imp == nil {
+				return fmt.Errorf("faults: plan contains a loss window but no impairment model was given")
+			}
+			if e.A == Wildcard && e.B == Wildcard {
+				imp.AddWindow(at, at+e.Duration, e.Rate, Wildcard, Wildcard)
+			} else {
+				imp.AddWindow(at, at+e.Duration, e.Rate, e.A, e.B)
+				imp.AddWindow(at, at+e.Duration, e.Rate, e.B, e.A)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/bgp"
+	"rfd/internal/xrand"
+)
+
+// Profile describes the steady-state impairment of one directed link: each
+// message is lost with probability Loss, and surviving messages are delayed
+// by a uniform extra amount in [0, MaxJitter). The zero Profile is a perfect
+// link.
+type Profile struct {
+	// Loss is the per-message drop probability, in [0, 1].
+	Loss float64
+	// MaxJitter bounds the uniform extra delivery delay (0 disables jitter).
+	MaxJitter time.Duration
+}
+
+// Validate checks the profile's ranges.
+func (p Profile) Validate() error {
+	if p.Loss < 0 || p.Loss > 1 {
+		return fmt.Errorf("faults: loss probability %g outside [0, 1]", p.Loss)
+	}
+	if p.MaxJitter < 0 {
+		return fmt.Errorf("faults: negative jitter bound %v", p.MaxJitter)
+	}
+	return nil
+}
+
+// window is one time-bounded loss override.
+type window struct {
+	start, end time.Duration
+	rate       float64
+	from, to   bgp.RouterID // Wildcard/Wildcard matches every direction
+}
+
+// Impairments is the standard bgp.LinkImpairment: a default profile, optional
+// per-direction overrides, and time-bounded burst-loss windows. All
+// randomness comes from one seeded stream consumed in the engine's
+// deterministic send order, so a run with a given seed and plan is exactly
+// reproducible.
+//
+// Impairments is not safe for concurrent use; every simulation run owns its
+// own instance.
+type Impairments struct {
+	rng     *xrand.Rand
+	def     Profile
+	perDir  map[dirKey]Profile
+	windows []window
+
+	drops uint64
+}
+
+// dirKey keys a directed link endpoint pair.
+type dirKey struct {
+	from, to bgp.RouterID
+}
+
+// NewImpairments returns an impairment model with a perfect default profile,
+// drawing randomness from a stream derived from seed (independent of the
+// network's own streams for the same seed).
+func NewImpairments(seed uint64) *Impairments {
+	return &Impairments{
+		rng:    xrand.New(seed).Split(),
+		perDir: make(map[dirKey]Profile),
+	}
+}
+
+// SetDefault installs the profile applied to every direction without a
+// per-direction override.
+func (im *Impairments) SetDefault(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	im.def = p
+	return nil
+}
+
+// SetDirection overrides the profile of the from→to direction only. Use two
+// calls for a symmetric link impairment.
+func (im *Impairments) SetDirection(from, to bgp.RouterID, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	im.perDir[dirKey{from, to}] = p
+	return nil
+}
+
+// AddWindow forces a loss rate on the from→to direction (Wildcard/Wildcard:
+// every direction) during [start, end), overriding lower profile rates —
+// the effective loss is the maximum of the profile's and every active
+// window's. Rate 1 models a burst outage. Times are kernel-absolute; Plan
+// events shift themselves by the plan epoch before calling this.
+func (im *Impairments) AddWindow(start, end time.Duration, rate float64, from, to bgp.RouterID) {
+	im.windows = append(im.windows, window{start: start, end: end, rate: rate, from: from, to: to})
+}
+
+// Drops returns the number of messages this model has dropped.
+func (im *Impairments) Drops() uint64 { return im.drops }
+
+// Impair implements bgp.LinkImpairment.
+func (im *Impairments) Impair(at time.Duration, from, to bgp.RouterID) (bool, time.Duration) {
+	p, ok := im.perDir[dirKey{from, to}]
+	if !ok {
+		p = im.def
+	}
+	loss := p.Loss
+	for _, w := range im.windows {
+		if at < w.start || at >= w.end {
+			continue
+		}
+		if (w.from == Wildcard && w.to == Wildcard) || (w.from == from && w.to == to) {
+			if w.rate > loss {
+				loss = w.rate
+			}
+		}
+	}
+	if loss > 0 && (loss >= 1 || im.rng.Float64() < loss) {
+		im.drops++
+		return true, 0
+	}
+	var jitter time.Duration
+	if p.MaxJitter > 0 {
+		jitter = time.Duration(im.rng.Intn(int(p.MaxJitter)))
+	}
+	return false, jitter
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogConverges(t *testing.T) {
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean origination flap, then a distant no-op event: after the flap
+	// settles the watchdog sees a quiescent episode long before the no-op,
+	// so a mid-run consistency check fires in addition to the final one.
+	epoch := k.Now()
+	k.At(epoch+time.Second, "test.flapdown", func() { n.Router(0).StopOriginating(testPrefix) })
+	k.At(epoch+2*time.Second, "test.flapup", func() { n.Router(0).Originate(testPrefix) })
+	k.At(epoch+time.Hour, "test.noop", func() {})
+
+	rep := Watch(n, WatchdogConfig{})
+	if rep.Outcome != Converged || rep.Err != nil {
+		t.Fatalf("report = %s, want converged", rep)
+	}
+	if rep.Checks < 2 {
+		t.Fatalf("Checks = %d, want at least one mid-run check plus the final one", rep.Checks)
+	}
+	if rep.QuiescentAt == 0 {
+		t.Fatal("QuiescentAt never recorded")
+	}
+	if rep.Events == 0 {
+		t.Fatal("watchdog stepped no events")
+	}
+	if rep.Recent != nil {
+		t.Fatal("converged report carries a diagnosis ring")
+	}
+}
+
+func TestWatchdogLivelock(t *testing.T) {
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A self-rearming event never lets the queue drain.
+	var rearm func()
+	rearm = func() { k.At(k.Now()+time.Second, "test.rearm", rearm) }
+	rearm()
+
+	rep := Watch(n, WatchdogConfig{MaxEvents: 10, Recent: 4})
+	if rep.Outcome != Livelock {
+		t.Fatalf("report = %s, want livelock", rep)
+	}
+	if rep.Events != 10 {
+		t.Fatalf("Events = %d, want exactly the 10-event budget", rep.Events)
+	}
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "budget") {
+		t.Fatalf("Err = %v, want budget exhaustion", rep.Err)
+	}
+	if len(rep.Recent) != 4 {
+		t.Fatalf("Recent has %d entries, want the full ring of 4", len(rep.Recent))
+	}
+	for _, e := range rep.Recent {
+		if e.Name != "test.rearm" {
+			t.Fatalf("diagnosis ring holds %q, want the rearming event", e.Name)
+		}
+	}
+	for i := 1; i < len(rep.Recent); i++ {
+		if rep.Recent[i].At < rep.Recent[i-1].At {
+			t.Fatal("diagnosis ring not oldest-first")
+		}
+	}
+}
+
+func TestWatchdogDiverges(t *testing.T) {
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Total loss: every update of the re-origination vanishes, so RIB-OUT
+	// and RIB-IN disagree permanently — the watchdog must drain the run and
+	// report divergence rather than error out mid-flight.
+	imp := NewImpairments(3)
+	if err := imp.SetDefault(Profile{Loss: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetImpairment(imp)
+	epoch := k.Now()
+	k.At(epoch+time.Second, "test.flapdown", func() { n.Router(0).StopOriginating(testPrefix) })
+
+	rep := Watch(n, WatchdogConfig{})
+	if rep.Outcome != Diverged {
+		t.Fatalf("report = %s, want diverged", rep)
+	}
+	if rep.Err == nil {
+		t.Fatal("diverged report has no error")
+	}
+	if rep.DivergedAt == 0 {
+		t.Fatal("DivergedAt never recorded")
+	}
+	if len(rep.Recent) == 0 {
+		t.Fatal("diverged report has no diagnosis ring")
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("total-loss impairment dropped nothing")
+	}
+}
+
+func TestWatchdogRestoresTrace(t *testing.T) {
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	calls := 0
+	k.SetTrace(func(time.Duration, string) { calls++ })
+	Watch(n, WatchdogConfig{})
+	if calls == 0 {
+		t.Fatal("watchdog did not chain onto the existing trace observer")
+	}
+	// The observer installed before Watch must be back afterwards.
+	before := calls
+	k.At(k.Now()+time.Second, "test.noop", func() {})
+	k.Step()
+	if calls != before+1 {
+		t.Fatalf("trace observer not restored after Watch (calls %d, want %d)", calls, before+1)
+	}
+}

@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"rfd/sim"
+)
+
+func TestNextEventTime(t *testing.T) {
+	k := sim.NewKernel()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty kernel reports a next event")
+	}
+	k.At(5*time.Second, "b", func() {})
+	k.At(2*time.Second, "a", func() {})
+	if at, ok := k.NextEventTime(); !ok || at != 2*time.Second {
+		t.Fatalf("NextEventTime = %v, %v; want 2s, true", at, ok)
+	}
+	k.Step()
+	if at, ok := k.NextEventTime(); !ok || at != 5*time.Second {
+		t.Fatalf("NextEventTime after step = %v, %v; want 5s, true", at, ok)
+	}
+	k.Step()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("drained kernel reports a next event")
+	}
+}
+
+func TestTraceGetter(t *testing.T) {
+	k := sim.NewKernel()
+	if k.Trace() != nil {
+		t.Fatal("fresh kernel has a trace observer")
+	}
+	calls := 0
+	fn := func(time.Duration, string) { calls++ }
+	k.SetTrace(fn)
+	if k.Trace() == nil {
+		t.Fatal("Trace does not return the installed observer")
+	}
+	// The returned observer is the live one: calling it and firing an event
+	// hit the same counter.
+	k.Trace()(0, "manual")
+	k.At(time.Second, "e", func() {})
+	k.Run()
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}

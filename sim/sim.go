@@ -140,6 +140,24 @@ func (k *Kernel) Pending() int { return k.q.Len() }
 // SetTrace installs fn to observe every fired event (nil disables tracing).
 func (k *Kernel) SetTrace(fn TraceFunc) { k.trace = fn }
 
+// Trace returns the currently installed trace observer (nil when tracing is
+// off). Observers that want to chain — observe events while preserving an
+// existing observer — save this, install their own function, and call the
+// saved one from it.
+func (k *Kernel) Trace() TraceFunc { return k.trace }
+
+// NextEventTime returns the virtual time of the earliest pending event and
+// whether one exists. It is the kernel's idle-detection hook: between Now and
+// that instant nothing in the simulation can change, so a caller that finds
+// the gap larger than its grace window knows the system is quiescent for at
+// least that long (the convergence watchdog relies on this).
+func (k *Kernel) NextEventTime() (time.Duration, bool) {
+	if head := k.q.Peek(); head != nil {
+		return head.Time, true
+	}
+	return 0, false
+}
+
 // At schedules fn at absolute virtual time at. Scheduling in the past panics:
 // it would break the causal order every experiment relies on. The name is
 // only used for tracing and diagnostics.
