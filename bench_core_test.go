@@ -1,0 +1,58 @@
+package rfd_test
+
+import (
+	"testing"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+)
+
+// BenchmarkCoreHotPath is the simulator's core performance suite: full
+// scenario runs whose wall-clock and allocation profiles are dominated by
+// the per-event hot path (message send/deliver, decision process, MRAI and
+// reuse timers). Its results are recorded in BENCH_core.json; refresh with
+//
+//	go test -run '^$' -bench BenchmarkCoreHotPath -benchtime 3x -benchmem .
+//
+// and compare against a baseline with benchstat (see docs/performance.md).
+func BenchmarkCoreHotPath(b *testing.B) {
+	b.Run("mesh-100-damped", func(b *testing.B) {
+		g, err := topology.Torus(10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := bgp.DefaultConfig()
+		params := damping.Cisco()
+		cfg.Damping = &params
+		sc := experiment.Scenario{Graph: g, ISP: 0, Config: cfg, Pulses: 2}
+		benchCoreRun(b, sc)
+	})
+	b.Run("clique-30", func(b *testing.B) {
+		// A 30-node full mesh maximizes alternate paths, so a single pulse
+		// triggers heavy path exploration: the densest update churn per
+		// router the engine sees.
+		g, err := topology.FullMesh(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := experiment.Scenario{Graph: g, ISP: 0, Config: bgp.DefaultConfig(), Pulses: 1}
+		benchCoreRun(b, sc)
+	})
+}
+
+func benchCoreRun(b *testing.B, sc experiment.Scenario) {
+	b.Helper()
+	b.ReportAllocs()
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ConvergenceTime.Seconds(), "conv_s")
+	b.ReportMetric(float64(res.MessageCount), "msgs")
+}

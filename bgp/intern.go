@@ -1,0 +1,105 @@
+package bgp
+
+// This file implements the per-network interning that makes the engine's
+// per-message hot path allocation-free in steady state.
+//
+// AS paths: a flapping episode explores a small, heavily repeated set of
+// paths (every router re-advertises its handful of alternates over and over),
+// so each Network keeps one canonical Path per distinct hop sequence. The
+// send path builds "me + my best path" via pathTable.prepend, which returns
+// the canonical slice on a hit — no per-message copy — and Path.Equal
+// collapses to a pointer comparison for canonical paths. Canonical paths are
+// immutable by convention: nothing in the engine writes to a Path after it
+// enters the table.
+//
+// Prefixes: routers index their RIBs by dense prefix id (and dense peer
+// slot) instead of nested string-keyed maps; the Network owns the
+// Prefix <-> id mapping. Experiments use a handful of prefixes, so the
+// tables stay tiny; ids are assigned in first-use order and are stable for
+// the network's lifetime.
+
+// pathTable interns AS paths. The zero value is not ready; use newPathTable.
+type pathTable struct {
+	m   map[string]Path
+	key []byte // scratch buffer for map lookups; reused across calls
+}
+
+func newPathTable() *pathTable {
+	return &pathTable{m: make(map[string]Path, 64), key: make([]byte, 0, 64)}
+}
+
+// appendHop appends the fixed-width key encoding of one hop.
+func appendHop(b []byte, id RouterID) []byte {
+	v := uint32(id)
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// canonical returns the interned path for the scratch key, inserting build()
+// on first sight. The m[string(key)] lookup does not allocate; only a miss
+// copies the key and path.
+func (t *pathTable) canonical(build func() Path) Path {
+	if c, ok := t.m[string(t.key)]; ok {
+		return c
+	}
+	c := build()
+	t.m[string(t.key)] = c
+	return c
+}
+
+// intern returns the canonical copy of p (nil for an empty path). The
+// argument is copied on first sight, so callers may keep mutating their
+// slice afterwards.
+func (t *pathTable) intern(p Path) Path {
+	if len(p) == 0 {
+		return nil
+	}
+	k := t.key[:0]
+	for _, hop := range p {
+		k = appendHop(k, hop)
+	}
+	t.key = k
+	return t.canonical(p.Clone)
+}
+
+// prepend returns the canonical path (id, tail...). This is the send-path
+// replacement for tail.Prepend(id): on a table hit it costs one key build
+// and one map probe, with no copy.
+func (t *pathTable) prepend(id RouterID, tail Path) Path {
+	k := appendHop(t.key[:0], id)
+	for _, hop := range tail {
+		k = appendHop(k, hop)
+	}
+	t.key = k
+	return t.canonical(func() Path {
+		c := make(Path, len(tail)+1)
+		c[0] = id
+		copy(c[1:], tail)
+		return c
+	})
+}
+
+// prefixID returns the dense id for prefix, assigning the next one on first
+// sight and growing every router's per-prefix state to cover it.
+func (n *Network) prefixID(prefix Prefix) int32 {
+	if id, ok := n.prefixIDs[prefix]; ok {
+		return id
+	}
+	id := int32(len(n.prefixes))
+	n.prefixIDs[prefix] = id
+	n.prefixes = append(n.prefixes, prefix)
+	return id
+}
+
+// lookupPrefix returns the dense id for prefix without assigning one.
+func (n *Network) lookupPrefix(prefix Prefix) (int32, bool) {
+	id, ok := n.prefixIDs[prefix]
+	return id, ok
+}
+
+// extend grows s with zero values until it has length n.
+func extend[T any](s []T, n int) []T {
+	if len(s) >= n {
+		return s
+	}
+	return append(s, make([]T, n-len(s))...)
+}

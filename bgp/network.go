@@ -2,7 +2,6 @@ package bgp
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"rfd/internal/xrand"
@@ -27,11 +26,6 @@ type Hooks struct {
 	OnPenalty func(at time.Duration, router, peer RouterID, prefix Prefix, penalty float64)
 }
 
-// direction keys one directed link endpoint pair.
-type direction struct {
-	from, to RouterID
-}
-
 // LinkImpairment decides the fate of individual messages on otherwise
 // healthy links: loss (drop=true) and extra delivery delay (jitter). The
 // engine consults it exactly once per message at send time, in deterministic
@@ -42,35 +36,83 @@ type LinkImpairment interface {
 	Impair(at time.Duration, from, to RouterID) (drop bool, extraDelay time.Duration)
 }
 
+// noLink marks a nonexistent directed link in Network.linkDelay.
+const noLink = time.Duration(-1)
+
+// pendingMsg is an in-flight message parked in the network's slab between
+// send and deliver, stamped with the session generation it was sent on.
+type pendingMsg struct {
+	msg Message
+	gen uint64
+}
+
+// deliverHandler adapts the kernel's typed-event interface to message
+// delivery: the event arg is the message's slab index, so scheduling a
+// delivery allocates neither a closure nor a boxed payload.
+type deliverHandler struct{ n *Network }
+
+func (h *deliverHandler) HandleEvent(arg uint64) {
+	n := h.n
+	idx := int32(arg)
+	pm := n.msgSlab[idx]
+	n.msgSlab[idx] = pendingMsg{}
+	n.msgFree = append(n.msgFree, idx)
+	n.deliver(pm.msg, pm.gen)
+}
+
 // Network wires routers built from a topology onto a simulation kernel.
+//
+// Link and session state live in flat arrays indexed by directed pair
+// (from*nn+to) or canonical pair (lo*nn+hi), so the per-message hot path
+// performs no map lookups and no allocation: in-flight messages are parked
+// in a freelist-backed slab and delivery events carry the slab index.
 type Network struct {
 	kernel  *sim.Kernel
 	graph   *topology.Graph
 	cfg     Config
 	routers []*Router
+	nn      int // number of nodes; row stride of the directed-pair arrays
 
-	linkDelay map[direction]time.Duration
+	// linkDelay holds the propagation delay per directed link, indexed
+	// from*nn+to; noLink where no edge exists.
+	linkDelay []time.Duration
 	// lastArrival enforces per-direction FIFO delivery: a message never
-	// overtakes an earlier one on the same directed link.
-	lastArrival map[direction]time.Duration
-	// downLinks marks failed links (keyed with from < to). Messages sent or
-	// in flight on a failed link are lost, as with a broken TCP session.
-	downLinks map[direction]bool
-	// sessionGen is a per-link session generation (keyed with from < to).
-	// Every session-severing fault — link failure, session reset, router
-	// crash — bumps it; deliveries stamped with an older generation are
-	// dropped, so messages in flight when a session dies never arrive, even
-	// when the session is re-established before their scheduled arrival.
-	sessionGen map[direction]uint64
+	// overtakes an earlier one on the same directed link. Indexed
+	// from*nn+to; zero means no arrival constraint (reset when the session
+	// is severed — post-recovery traffic must not be serialized behind the
+	// arrival times of messages that were lost).
+	lastArrival []time.Duration
+	// downLinks marks failed links, indexed by canonical pair lo*nn+hi.
+	// Messages sent or in flight on a failed link are lost, as with a
+	// broken TCP session.
+	downLinks []bool
+	// sessionGen is a per-link session generation, indexed by canonical
+	// pair. Every session-severing fault — link failure, session reset,
+	// router crash — bumps it; deliveries stamped with an older generation
+	// are dropped, so messages in flight when a session dies never arrive,
+	// even when the session is re-established before their scheduled
+	// arrival.
+	sessionGen []uint64
 	// downRouters marks crashed routers. A crashed router holds no sessions:
 	// nothing is sent to or from it until RestartRouter.
-	downRouters map[RouterID]bool
+	downRouters []bool
 	// impair, when non-nil, is consulted once per message sent on a healthy
 	// session (loss and jitter injection).
 	impair LinkImpairment
 	// pendingDeliveries counts scheduled bgp.deliver events not yet fired
 	// (including ones that will be dropped on arrival).
 	pendingDeliveries int
+
+	// paths interns every AS path the engine handles; prefixIDs/prefixes
+	// map prefixes to the dense ids the routers' RIBs are indexed by.
+	paths     *pathTable
+	prefixIDs map[Prefix]int32
+	prefixes  []Prefix
+
+	// msgSlab parks in-flight messages; msgFree is its freelist.
+	msgSlab  []pendingMsg
+	msgFree  []int32
+	deliverH deliverHandler
 
 	hooks Hooks
 
@@ -105,15 +147,23 @@ func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) 
 			}
 		}
 	}
+	nn := g.NumNodes()
 	n := &Network{
 		kernel:      k,
 		graph:       g,
 		cfg:         cfg,
-		linkDelay:   make(map[direction]time.Duration, 2*g.NumEdges()),
-		lastArrival: make(map[direction]time.Duration, 2*g.NumEdges()),
-		downLinks:   make(map[direction]bool),
-		sessionGen:  make(map[direction]uint64),
-		downRouters: make(map[RouterID]bool),
+		nn:          nn,
+		linkDelay:   make([]time.Duration, nn*nn),
+		lastArrival: make([]time.Duration, nn*nn),
+		downLinks:   make([]bool, nn*nn),
+		sessionGen:  make([]uint64, nn*nn),
+		downRouters: make([]bool, nn),
+		paths:       newPathTable(),
+		prefixIDs:   make(map[Prefix]int32, 8),
+	}
+	n.deliverH = deliverHandler{n: n}
+	for i := range n.linkDelay {
+		n.linkDelay[i] = noLink
 	}
 	rng := xrand.New(cfg.Seed)
 	for _, e := range g.Edges() {
@@ -122,14 +172,39 @@ func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) 
 		if span := cfg.MaxLinkDelay - cfg.MinLinkDelay; span > 0 {
 			d += time.Duration(rng.Intn(int(span)))
 		}
-		n.linkDelay[direction{e.A, e.B}] = d
-		n.linkDelay[direction{e.B, e.A}] = d
+		n.linkDelay[n.dirIdx(e.A, e.B)] = d
+		n.linkDelay[n.dirIdx(e.B, e.A)] = d
 	}
-	n.routers = make([]*Router, g.NumNodes())
-	for id := 0; id < g.NumNodes(); id++ {
+	n.routers = make([]*Router, nn)
+	for id := 0; id < nn; id++ {
 		n.routers[id] = newRouter(n, RouterID(id), rng.Split())
 	}
 	return n, nil
+}
+
+// dirIdx indexes the directed-pair arrays. Callers guarantee both ids are in
+// range (they come from the topology or from bounds-checked public methods).
+func (n *Network) dirIdx(from, to RouterID) int {
+	return int(from)*n.nn + int(to)
+}
+
+// linkIdx indexes the canonical-pair arrays (low id first).
+func (n *Network) linkIdx(a, b RouterID) int {
+	if a > b {
+		a, b = b, a
+	}
+	return int(a)*n.nn + int(b)
+}
+
+// inRange reports whether id is a valid router id.
+func (n *Network) inRange(id RouterID) bool {
+	return id >= 0 && int(id) < n.nn
+}
+
+// hasLink reports whether a directed link exists (false for out-of-range
+// ids).
+func (n *Network) hasLink(a, b RouterID) bool {
+	return n.inRange(a) && n.inRange(b) && n.linkDelay[n.dirIdx(a, b)] != noLink
 }
 
 // Kernel returns the simulation kernel the network runs on.
@@ -146,7 +221,7 @@ func (n *Network) NumRouters() int { return len(n.routers) }
 
 // Router returns the router with the given ID, or nil if out of range.
 func (n *Network) Router(id RouterID) *Router {
-	if id < 0 || int(id) >= len(n.routers) {
+	if !n.inRange(id) {
 		return nil
 	}
 	return n.routers[id]
@@ -199,9 +274,9 @@ func (n *Network) PendingDeliveries() int { return n.pendingDeliveries }
 func (n *Network) PendingAnnouncements() int {
 	total := 0
 	for _, r := range n.routers {
-		for _, p := range r.peers {
-			for _, o := range r.ribOut[p] {
-				if o.pending {
+		for s := range r.peers {
+			for i := range r.ribOut[s] {
+				if r.ribOut[s][i].pending {
 					total++
 				}
 			}
@@ -232,40 +307,24 @@ func (n *Network) DampedLinkCount() int {
 	return total
 }
 
-// linkKey normalizes a link to its canonical (low, high) direction.
-func linkKey(a, b RouterID) direction {
-	if a > b {
-		a, b = b, a
-	}
-	return direction{a, b}
-}
-
 // LinkUp reports whether the link between a and b is currently up (false
 // also for nonexistent links). A link can be up while no session runs over
 // it — when an endpoint router is crashed; see SessionUp.
 func (n *Network) LinkUp(a, b RouterID) bool {
-	if _, ok := n.linkDelay[direction{a, b}]; !ok {
-		return false
-	}
-	return !n.downLinks[linkKey(a, b)]
+	return n.hasLink(a, b) && !n.downLinks[n.linkIdx(a, b)]
 }
 
 // SessionUp reports whether a BGP session is currently established between
 // a and b: the link exists and is up, and both routers are running.
 func (n *Network) SessionUp(a, b RouterID) bool {
-	if _, ok := n.linkDelay[direction{a, b}]; !ok {
-		return false
-	}
-	return !n.downLinks[linkKey(a, b)] && !n.downRouters[a] && !n.downRouters[b]
+	return n.hasLink(a, b) && !n.downLinks[n.linkIdx(a, b)] &&
+		!n.downRouters[a] && !n.downRouters[b]
 }
 
 // RouterUp reports whether router id is running (false for out-of-range
 // ids).
 func (n *Network) RouterUp(id RouterID) bool {
-	if id < 0 || int(id) >= len(n.routers) {
-		return false
-	}
-	return !n.downRouters[id]
+	return n.inRange(id) && !n.downRouters[id]
 }
 
 // severSession invalidates messages in flight on the a-b link and clears its
@@ -273,9 +332,9 @@ func (n *Network) RouterUp(id RouterID) bool {
 // and post-recovery traffic must not be serialized behind the arrival times
 // of messages that were lost.
 func (n *Network) severSession(a, b RouterID) {
-	n.sessionGen[linkKey(a, b)]++
-	delete(n.lastArrival, direction{a, b})
-	delete(n.lastArrival, direction{b, a})
+	n.sessionGen[n.linkIdx(a, b)]++
+	n.lastArrival[n.dirIdx(a, b)] = 0
+	n.lastArrival[n.dirIdx(b, a)] = 0
 }
 
 // SetLinkState fails (up=false) or restores (up=true) the link between a
@@ -291,15 +350,15 @@ func (n *Network) severSession(a, b RouterID) {
 //
 // Setting the current state again is a no-op. Unknown links return an error.
 func (n *Network) SetLinkState(a, b RouterID, up bool) error {
-	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+	if !n.hasLink(a, b) {
 		return fmt.Errorf("bgp: no link %d-%d", a, b)
 	}
-	key := linkKey(a, b)
+	key := n.linkIdx(a, b)
 	if n.downLinks[key] == !up {
 		return nil
 	}
 	if up {
-		delete(n.downLinks, key)
+		n.downLinks[key] = false
 		n.routers[a].peerUp(b)
 		n.routers[b].peerUp(a)
 	} else {
@@ -319,7 +378,7 @@ func (n *Network) SetLinkState(a, b RouterID, up bool) error {
 // export policy. Resetting a session that is not established (link down or
 // an endpoint crashed) is a no-op; unknown links return an error.
 func (n *Network) ResetSession(a, b RouterID) error {
-	if _, ok := n.linkDelay[direction{a, b}]; !ok {
+	if !n.hasLink(a, b) {
 		return fmt.Errorf("bgp: no link %d-%d", a, b)
 	}
 	if !n.SessionUp(a, b) {
@@ -340,7 +399,7 @@ func (n *Network) ResetSession(a, b RouterID) error {
 // set survives, modelling static configuration that outlives a reboot.
 // Crashing a crashed router is a no-op; out-of-range ids return an error.
 func (n *Network) CrashRouter(id RouterID) error {
-	if id < 0 || int(id) >= len(n.routers) {
+	if !n.inRange(id) {
 		return fmt.Errorf("bgp: no router %d", id)
 	}
 	if n.downRouters[id] {
@@ -355,7 +414,7 @@ func (n *Network) CrashRouter(id RouterID) error {
 	}
 	r.crash()
 	for _, q := range r.peers {
-		if n.downLinks[linkKey(id, q)] || n.downRouters[q] {
+		if n.downLinks[n.linkIdx(id, q)] || n.downRouters[q] {
 			// No session was established, so the peer has nothing to
 			// withdraw.
 			continue
@@ -371,13 +430,13 @@ func (n *Network) CrashRouter(id RouterID) error {
 // a link recovery. Restarting a running router is a no-op; out-of-range ids
 // return an error.
 func (n *Network) RestartRouter(id RouterID) error {
-	if id < 0 || int(id) >= len(n.routers) {
+	if !n.inRange(id) {
 		return fmt.Errorf("bgp: no router %d", id)
 	}
 	if !n.downRouters[id] {
 		return nil
 	}
-	delete(n.downRouters, id)
+	n.downRouters[id] = false
 	r := n.routers[id]
 	r.restart()
 	for _, q := range r.peers {
@@ -389,6 +448,18 @@ func (n *Network) RestartRouter(id RouterID) error {
 	return nil
 }
 
+// allocMsg parks msg in the slab and returns its index.
+func (n *Network) allocMsg(msg Message, gen uint64) int32 {
+	if k := len(n.msgFree); k > 0 {
+		idx := n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		n.msgSlab[idx] = pendingMsg{msg: msg, gen: gen}
+		return idx
+	}
+	n.msgSlab = append(n.msgSlab, pendingMsg{msg: msg, gen: gen})
+	return int32(len(n.msgSlab) - 1)
+}
+
 // send schedules delivery of msg across the directed link (msg.From,
 // msg.To). The message leaves after the sender's processing delay and
 // arrives after the link's propagation delay plus any impairment jitter;
@@ -396,9 +467,9 @@ func (n *Network) RestartRouter(id RouterID) error {
 // within a session. Messages sent while no session is established, or
 // dropped by the impairment model, are lost.
 func (n *Network) send(msg Message) {
-	dir := direction{msg.From, msg.To}
-	delay, ok := n.linkDelay[dir]
-	if !ok {
+	dir := n.dirIdx(msg.From, msg.To)
+	delay := n.linkDelay[dir]
+	if delay == noLink {
 		panic(fmt.Sprintf("bgp: send on nonexistent link %d->%d", msg.From, msg.To))
 	}
 	if !n.SessionUp(msg.From, msg.To) {
@@ -422,9 +493,10 @@ func (n *Network) send(msg Message) {
 		at = last + time.Nanosecond
 	}
 	n.lastArrival[dir] = at
-	gen := n.sessionGen[linkKey(msg.From, msg.To)]
+	gen := n.sessionGen[n.linkIdx(msg.From, msg.To)]
 	n.pendingDeliveries++
-	n.kernel.At(at, "bgp.deliver", func() { n.deliver(msg, gen) })
+	idx := n.allocMsg(msg, gen)
+	n.kernel.AtHandler(at, "bgp.deliver", &n.deliverH, uint64(uint32(idx)))
 }
 
 // deliver counts the message, notifies hooks, and hands it to the receiver.
@@ -434,7 +506,7 @@ func (n *Network) send(msg Message) {
 // message was sent on).
 func (n *Network) deliver(msg Message, gen uint64) {
 	n.pendingDeliveries--
-	if n.sessionGen[linkKey(msg.From, msg.To)] != gen || !n.SessionUp(msg.From, msg.To) {
+	if n.sessionGen[n.linkIdx(msg.From, msg.To)] != gen || !n.SessionUp(msg.From, msg.To) {
 		n.dropped++
 		return
 	}
@@ -470,16 +542,23 @@ func (n *Network) CheckConsistency() error {
 			// A crashed router holds no state to be consistent about.
 			continue
 		}
-		for _, q := range r.peers {
+		for s, q := range r.peers {
 			if !n.SessionUp(r.id, q) {
 				// No session: the peers legitimately disagree until the
 				// link recovers or the crashed endpoint restarts.
 				continue
 			}
 			peer := n.routers[q]
-			for _, prefix := range r.ribOutPrefixes(q) {
-				sent := r.advertised(q, prefix)
-				held := peer.ribInPath(r.id, prefix)
+			backSlot := peer.slotOf(r.id)
+			for _, prefix := range r.ribOutPrefixes(int32(s)) {
+				pid, _ := n.lookupPrefix(prefix)
+				var sent, held Path
+				if out := r.ribOutAt(int32(s), pid); out != nil {
+					sent = out.advertised
+				}
+				if in := peer.ribInAt(backSlot, pid); in != nil {
+					held = in.path
+				}
 				if !sent.Equal(held) {
 					return fmt.Errorf(
 						"bgp: session %d->%d prefix %s: RIB-OUT [%s] != peer RIB-IN [%s]",
@@ -509,6 +588,6 @@ func (n *Network) Prefixes() []Prefix {
 	for p := range set {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortPrefixes(out)
 	return out
 }

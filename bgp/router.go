@@ -15,30 +15,37 @@ import (
 // selfPeer marks a Local-RIB entry whose route is originated locally.
 const selfPeer = RouterID(-1)
 
-// ribInEntry is the adj-RIB-in state for one (peer, prefix): the last route
-// received (nil when withdrawn), the flap history damping needs, the damping
-// state itself, and the pending reuse timer.
+// ribInEntry is the adj-RIB-in state for one (peer slot, prefix id): the last
+// route received (nil when withdrawn), the flap history damping needs, the
+// damping state itself, and the pending reuse timer. Entries live inline in
+// the router's dense RIB columns; seen distinguishes a live entry from the
+// column's zero-valued padding.
 type ribInEntry struct {
 	path        Path
 	everPresent bool
+	seen        bool
 	cause       rcn.Cause
 	damp        *damping.State
-	reuseTimer  *sim.Timer
+	reuseTimer  sim.Timer
 }
 
-// ribOutEntry is the adj-RIB-out state for one (peer, prefix): what has been
-// advertised, the MRAI timer, and the announcement waiting for it.
+// ribOutEntry is the adj-RIB-out state for one (peer slot, prefix id): what
+// has been advertised, the MRAI timer, and the announcement waiting for it.
 type ribOutEntry struct {
 	advertised   Path
-	mrai         *sim.Timer
-	pending      bool
 	pendingPath  Path
 	pendingCause rcn.Cause
+	mrai         sim.Timer
+	pending      bool
+	seen         bool
 }
 
-// localEntry is the Local-RIB entry for one prefix.
+// localEntry is the Local-RIB entry for one prefix id. seen marks slots the
+// decision process has ever written (the dense equivalent of map-key
+// presence) and is ignored by equal.
 type localEntry struct {
 	hasRoute bool
+	seen     bool
 	bestPeer RouterID // selfPeer when originated locally
 	bestPath Path     // the RIB-IN path of bestPeer (nil when self-originated)
 }
@@ -47,25 +54,56 @@ func (l localEntry) equal(o localEntry) bool {
 	return l.hasRoute == o.hasRoute && l.bestPeer == o.bestPeer && l.bestPath.Equal(o.bestPath)
 }
 
+// packSlotPrefix packs a peer slot and prefix id into a typed-event arg.
+func packSlotPrefix(slot, pid int32) uint64 {
+	return uint64(uint32(slot))<<32 | uint64(uint32(pid))
+}
+
+// mraiHandler and reuseHandler adapt the kernel's typed-event interface to
+// the router's timer callbacks. They are fields of Router (not fresh
+// allocations), so arming an MRAI or reuse timer allocates nothing.
+type mraiHandler struct{ r *Router }
+
+func (h *mraiHandler) HandleEvent(arg uint64) {
+	h.r.mraiExpired(int32(arg>>32), int32(uint32(arg)))
+}
+
+type reuseHandler struct{ r *Router }
+
+func (h *reuseHandler) HandleEvent(arg uint64) {
+	h.r.reuseExpired(int32(arg>>32), int32(uint32(arg)))
+}
+
 // Router is one BGP speaker. Routers are created by NewNetwork — one per
 // topology node — and driven entirely by simulation events.
+//
+// All per-session and per-prefix state is held in dense slices: peers map to
+// slots 0..len(peers)-1 (ascending peer id order) and prefixes to the
+// network's dense prefix ids, so the hot path indexes flat arrays instead of
+// walking nested string-keyed maps.
 type Router struct {
 	id    RouterID
 	net   *Network
 	rng   *xrand.Rand
 	peers []RouterID // sorted ascending; fixed at construction
+	// peerSlot maps a RouterID to its slot in peers (-1 when not a peer).
+	peerSlot []int32
 	// damp holds this router's damping parameters (nil = damping disabled
 	// here), resolved once at construction from Config.Damping /
 	// Config.DampingSelect.
 	damp *damping.Params
 
-	ribIn      map[RouterID]map[Prefix]*ribInEntry
-	ribOut     map[RouterID]map[Prefix]*ribOutEntry
-	local      map[Prefix]localEntry
-	originated map[Prefix]bool
-	history    map[RouterID]*rcn.History   // per-peer root-cause history (RCN)
-	sequencers map[Prefix]*rcn.Sequencer   // origination root causes
-	linkSeq    map[RouterID]*rcn.Sequencer // link status-change root causes
+	ribIn      [][]ribInEntry   // [peer slot][prefix id]
+	ribOut     [][]ribOutEntry  // [peer slot][prefix id]
+	local      []localEntry     // [prefix id]
+	originated []bool           // [prefix id] currently originating
+	origSeen   []bool           // [prefix id] ever originated
+	history    []*rcn.History   // per-peer-slot root-cause history (RCN)
+	sequencers []*rcn.Sequencer // [prefix id] origination root causes
+	linkSeq    []*rcn.Sequencer // [peer slot] link status-change root causes
+
+	mraiH  mraiHandler
+	reuseH reuseHandler
 }
 
 func newRouter(n *Network, id RouterID, rng *xrand.Rand) *Router {
@@ -74,25 +112,37 @@ func newRouter(n *Network, id RouterID, rng *xrand.Rand) *Router {
 	copy(peers, neighbors)
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	r := &Router{
-		id:         id,
-		net:        n,
-		rng:        rng,
-		peers:      peers,
-		damp:       n.cfg.dampingFor(id),
-		ribIn:      make(map[RouterID]map[Prefix]*ribInEntry, len(peers)),
-		ribOut:     make(map[RouterID]map[Prefix]*ribOutEntry, len(peers)),
-		local:      make(map[Prefix]localEntry),
-		originated: make(map[Prefix]bool),
-		history:    make(map[RouterID]*rcn.History, len(peers)),
-		sequencers: make(map[Prefix]*rcn.Sequencer),
-		linkSeq:    make(map[RouterID]*rcn.Sequencer, len(peers)),
+		id:       id,
+		net:      n,
+		rng:      rng,
+		peers:    peers,
+		peerSlot: make([]int32, n.graph.NumNodes()),
+		damp:     n.cfg.dampingFor(id),
+		ribIn:    make([][]ribInEntry, len(peers)),
+		ribOut:   make([][]ribOutEntry, len(peers)),
+		history:  make([]*rcn.History, len(peers)),
+		linkSeq:  make([]*rcn.Sequencer, len(peers)),
 	}
-	for _, p := range peers {
-		r.ribIn[p] = make(map[Prefix]*ribInEntry)
-		r.ribOut[p] = make(map[Prefix]*ribOutEntry)
-		r.history[p] = rcn.NewHistory(n.cfg.RCNHistorySize)
+	for i := range r.peerSlot {
+		r.peerSlot[i] = -1
 	}
+	for s, p := range peers {
+		r.peerSlot[p] = int32(s)
+		r.history[s] = r.newHistory()
+	}
+	r.mraiH = mraiHandler{r: r}
+	r.reuseH = reuseHandler{r: r}
 	return r
+}
+
+// newHistory returns a fresh per-peer root-cause history, or nil when RCN is
+// disabled (histories are only consulted under EnableRCN, and the default
+// capacity map is far too expensive to allocate per session for nothing).
+func (r *Router) newHistory() *rcn.History {
+	if !r.net.cfg.EnableRCN {
+		return nil
+	}
+	return rcn.NewHistory(r.net.cfg.RCNHistorySize)
 }
 
 // ID returns the router's identifier.
@@ -102,64 +152,98 @@ func (r *Router) ID() RouterID { return r.id }
 // shared and must not be modified.
 func (r *Router) Peers() []RouterID { return r.peers }
 
+// slotOf returns the peer's slot, -1 when peer is not a neighbor.
+func (r *Router) slotOf(peer RouterID) int32 {
+	if peer < 0 || int(peer) >= len(r.peerSlot) {
+		return -1
+	}
+	return r.peerSlot[peer]
+}
+
 // Originate starts advertising prefix from this router. It is the
 // experiment-facing knob that models the originAS side of the flapping link
 // coming up: the update it triggers carries a fresh LinkUp root cause when
 // RCN is enabled. Originating an already-originated prefix is a no-op.
 func (r *Router) Originate(prefix Prefix) {
-	if r.originated[prefix] {
+	pid := r.net.prefixID(prefix)
+	r.originated = extend(r.originated, int(pid)+1)
+	r.origSeen = extend(r.origSeen, int(pid)+1)
+	if r.originated[pid] {
 		return
 	}
-	r.originated[prefix] = true
-	r.reconcile(prefix, r.originationCause(prefix, rcn.LinkUp))
+	r.originated[pid] = true
+	r.origSeen[pid] = true
+	r.reconcile(pid, r.originationCause(pid, rcn.LinkUp))
 }
 
 // StopOriginating withdraws a locally originated prefix, modelling the
 // flapping link going down. A no-op when not originating.
 func (r *Router) StopOriginating(prefix Prefix) {
-	if !r.originated[prefix] {
+	pid, ok := r.net.lookupPrefix(prefix)
+	if !ok || !r.isOriginated(pid) {
 		return
 	}
-	r.originated[prefix] = false
-	r.reconcile(prefix, r.originationCause(prefix, rcn.LinkDown))
+	r.originated[pid] = false
+	r.reconcile(pid, r.originationCause(pid, rcn.LinkDown))
 }
 
 // Originates reports whether the router currently originates prefix.
-func (r *Router) Originates(prefix Prefix) bool { return r.originated[prefix] }
+func (r *Router) Originates(prefix Prefix) bool {
+	pid, ok := r.net.lookupPrefix(prefix)
+	return ok && r.isOriginated(pid)
+}
+
+// isOriginated reports whether the router currently originates prefix id pid.
+func (r *Router) isOriginated(pid int32) bool {
+	return pid >= 0 && int(pid) < len(r.originated) && r.originated[pid]
+}
 
 // originationCause stamps an origination change with a root cause when RCN
 // is on. The "link" of the cause is the router's (conceptual) uplink to the
 // origin, identified by the router itself on both ends.
-func (r *Router) originationCause(prefix Prefix, status rcn.Status) rcn.Cause {
+func (r *Router) originationCause(pid int32, status rcn.Status) rcn.Cause {
 	if !r.net.cfg.EnableRCN {
 		return rcn.Cause{}
 	}
-	seq := r.sequencers[prefix]
+	r.sequencers = extend(r.sequencers, int(pid)+1)
+	seq := r.sequencers[pid]
 	if seq == nil {
 		seq = &rcn.Sequencer{}
-		r.sequencers[prefix] = seq
+		r.sequencers[pid] = seq
 	}
 	return seq.Next(int(r.id), int(r.id), status)
 }
 
 // LocalRoute returns the router's current best path for prefix (nil for a
-// self-originated route) and whether any route is installed.
+// self-originated route) and whether any route is installed. The returned
+// path is an independent copy.
 func (r *Router) LocalRoute(prefix Prefix) (Path, bool) {
-	l := r.local[prefix]
+	pid, _ := r.net.lookupPrefix(prefix)
+	l := r.localAt(pid)
 	return l.bestPath.Clone(), l.hasRoute
 }
 
 // BestPeer returns the peer the current best route was learned from
 // (selfPeer == -1 for self-originated) and whether a route is installed.
 func (r *Router) BestPeer(prefix Prefix) (RouterID, bool) {
-	l := r.local[prefix]
+	pid, _ := r.net.lookupPrefix(prefix)
+	l := r.localAt(pid)
 	return l.bestPeer, l.hasRoute
+}
+
+// localAt returns the Local-RIB entry for prefix id pid (zero when absent).
+func (r *Router) localAt(pid int32) localEntry {
+	if pid < 0 || int(pid) >= len(r.local) {
+		return localEntry{}
+	}
+	return r.local[pid]
 }
 
 // Penalty returns the damping penalty for (peer, prefix) at virtual time
 // now; zero when damping is disabled or no state exists.
 func (r *Router) Penalty(peer RouterID, prefix Prefix, now time.Duration) float64 {
-	if e := r.ribIn[peer][prefix]; e != nil && e.damp != nil {
+	pid, _ := r.net.lookupPrefix(prefix)
+	if e := r.ribInAt(r.slotOf(peer), pid); e != nil && e.damp != nil {
 		return e.damp.Penalty(now)
 	}
 	return 0
@@ -167,52 +251,65 @@ func (r *Router) Penalty(peer RouterID, prefix Prefix, now time.Duration) float6
 
 // Suppressed reports whether the route from peer for prefix is suppressed.
 func (r *Router) Suppressed(peer RouterID, prefix Prefix) bool {
-	e := r.ribIn[peer][prefix]
+	pid, _ := r.net.lookupPrefix(prefix)
+	e := r.ribInAt(r.slotOf(peer), pid)
 	return e != nil && e.damp != nil && e.damp.Suppressed()
 }
 
-// ribInPath returns the stored RIB-IN path for (peer, prefix), nil if none.
-func (r *Router) ribInPath(peer RouterID, prefix Prefix) Path {
-	if e := r.ribIn[peer][prefix]; e != nil {
-		return e.path
+// ribInAt returns the live RIB-IN entry for (peer slot, prefix id), nil when
+// absent. The pointer is invalidated by the next column growth; do not hold
+// it across calls that may create entries.
+func (r *Router) ribInAt(slot, pid int32) *ribInEntry {
+	if slot < 0 || pid < 0 {
+		return nil
 	}
-	return nil
+	col := r.ribIn[slot]
+	if int(pid) >= len(col) || !col[pid].seen {
+		return nil
+	}
+	return &col[pid]
 }
 
-// advertised returns what the router has advertised to peer for prefix.
-func (r *Router) advertised(peer RouterID, prefix Prefix) Path {
-	if o := r.ribOut[peer][prefix]; o != nil {
-		return o.advertised
+// ribOutAt returns the live RIB-OUT entry for (peer slot, prefix id), nil
+// when absent. Same aliasing caveat as ribInAt.
+func (r *Router) ribOutAt(slot, pid int32) *ribOutEntry {
+	if slot < 0 || pid < 0 {
+		return nil
 	}
-	return nil
+	col := r.ribOut[slot]
+	if int(pid) >= len(col) || !col[pid].seen {
+		return nil
+	}
+	return &col[pid]
 }
 
-// entry returns (creating if needed) the RIB-IN entry for (peer, prefix).
-func (r *Router) entry(peer RouterID, prefix Prefix) *ribInEntry {
-	m, ok := r.ribIn[peer]
-	if !ok {
-		panic(fmt.Sprintf("bgp: router %d has no session with %d", r.id, peer))
+// ensureRibIn returns (creating if needed) the RIB-IN entry for (slot, pid).
+func (r *Router) ensureRibIn(slot, pid int32) *ribInEntry {
+	col := r.ribIn[slot]
+	if int(pid) >= len(col) {
+		col = extend(col, int(pid)+1)
+		r.ribIn[slot] = col
 	}
-	e := m[prefix]
-	if e == nil {
-		e = &ribInEntry{}
+	e := &col[pid]
+	if !e.seen {
+		e.seen = true
 		if r.damp != nil {
 			e.damp = damping.NewState(*r.damp)
 		}
-		m[prefix] = e
 	}
 	return e
 }
 
-// outEntry returns (creating if needed) the RIB-OUT entry for (peer, prefix).
-func (r *Router) outEntry(peer RouterID, prefix Prefix) *ribOutEntry {
-	m := r.ribOut[peer]
-	o := m[prefix]
-	if o == nil {
-		o = &ribOutEntry{}
-		m[prefix] = o
+// ensureRibOut returns (creating if needed) the RIB-OUT entry for (slot, pid).
+func (r *Router) ensureRibOut(slot, pid int32) *ribOutEntry {
+	col := r.ribOut[slot]
+	if int(pid) >= len(col) {
+		col = extend(col, int(pid)+1)
+		r.ribOut[slot] = col
 	}
-	return o
+	e := &col[pid]
+	e.seen = true
+	return e
 }
 
 // procDelay draws the router's per-update processing delay.
@@ -233,15 +330,21 @@ func (r *Router) receive(msg Message) {
 		// but a real peer could send such a route; BGP discards it.
 		return
 	}
-	r.applyUpdate(msg.From, msg.Prefix, msg.Withdraw, msg.Path, msg.Cause)
-	r.reconcile(msg.Prefix, msg.Cause)
+	slot := r.slotOf(msg.From)
+	if slot < 0 {
+		panic(fmt.Sprintf("bgp: router %d has no session with %d", r.id, msg.From))
+	}
+	pid := r.net.prefixID(msg.Prefix)
+	r.applyUpdate(slot, msg.From, pid, msg.Withdraw, msg.Path, msg.Cause)
+	r.reconcile(pid, msg.Cause)
 }
 
 // applyUpdate folds one update (received from the peer, or synthesized by a
-// session failure) into the RIB-IN entry and its damping state.
-func (r *Router) applyUpdate(from RouterID, prefix Prefix, withdraw bool, path Path, cause rcn.Cause) {
+// session failure) into the RIB-IN entry and its damping state. path must be
+// interned (or nil): it is stored without copying.
+func (r *Router) applyUpdate(slot int32, from RouterID, pid int32, withdraw bool, path Path, cause rcn.Cause) {
 	now := r.net.kernel.Now()
-	e := r.entry(from, prefix)
+	e := r.ensureRibIn(slot, pid)
 
 	present := e.path != nil
 	attrsDiffer := !withdraw && !path.Equal(e.path)
@@ -261,7 +364,7 @@ func (r *Router) applyUpdate(from RouterID, prefix Prefix, withdraw bool, path P
 			charge = false
 		}
 		if r.net.cfg.EnableRCN {
-			charge = r.history[from].Witness(cause)
+			charge = r.history[slot].Witness(cause)
 			if charge && !cause.IsZero() {
 				// RCN-enhanced damping penalizes the *flap itself*, not the
 				// perceived result of the flap (Section 7): a link-down root
@@ -280,25 +383,25 @@ func (r *Router) applyUpdate(from RouterID, prefix Prefix, withdraw bool, path P
 		}
 		ev := e.damp.Update(now, chargeKind, charge)
 		if h := r.net.hooks.OnPenalty; h != nil && ev.Increment != 0 {
-			h(now, r.id, from, prefix, ev.Penalty)
+			h(now, r.id, from, r.net.prefixes[pid], ev.Penalty)
 		}
 		if ev.BecameSuppressed {
 			if h := r.net.hooks.OnSuppress; h != nil {
-				h(now, r.id, from, prefix, true)
+				h(now, r.id, from, r.net.prefixes[pid], true)
 			}
 		}
 		if ev.Suppressed && ev.ReuseIn > 0 {
 			// (Re-)arm the reuse timer for the latest penalty value; charges
 			// while suppressed push the reuse instant later (the timer
 			// interaction at the heart of the paper).
-			r.armReuse(e, from, prefix, now+ev.ReuseIn)
+			r.armReuse(e, slot, pid, now+ev.ReuseIn)
 		}
 	}
 
 	if withdraw {
 		e.path = nil
 	} else {
-		e.path = path.Clone()
+		e.path = path
 		e.everPresent = true
 	}
 	e.cause = cause
@@ -306,14 +409,14 @@ func (r *Router) applyUpdate(from RouterID, prefix Prefix, withdraw bool, path P
 
 // linkCause stamps a session status change with a root cause when RCN is on
 // (the detecting node names the link, as in Section 6.1).
-func (r *Router) linkCause(peer RouterID, status rcn.Status) rcn.Cause {
+func (r *Router) linkCause(slot int32, peer RouterID, status rcn.Status) rcn.Cause {
 	if !r.net.cfg.EnableRCN {
 		return rcn.Cause{}
 	}
-	seq := r.linkSeq[peer]
+	seq := r.linkSeq[slot]
 	if seq == nil {
 		seq = &rcn.Sequencer{}
-		r.linkSeq[peer] = seq
+		r.linkSeq[slot] = seq
 	}
 	return seq.Next(int(r.id), int(peer), status)
 }
@@ -323,16 +426,19 @@ func (r *Router) linkCause(peer RouterID, status rcn.Status) rcn.Cause {
 // (charging damping — a session flap is a route flap from this router's
 // point of view).
 func (r *Router) peerDown(peer RouterID) {
-	cause := r.linkCause(peer, rcn.LinkDown)
-	for _, prefix := range r.ribOutPrefixes(peer) {
-		out := r.ribOut[peer][prefix]
+	slot := r.slotOf(peer)
+	cause := r.linkCause(slot, peer, rcn.LinkDown)
+	for _, prefix := range r.ribOutPrefixes(slot) {
+		pid, _ := r.net.lookupPrefix(prefix)
+		out := r.ribOutAt(slot, pid)
 		out.advertised = nil
 		out.pending = false
 		out.mrai.Cancel()
 	}
-	for _, prefix := range r.ribInPrefixes(peer) {
-		r.applyUpdate(peer, prefix, true, nil, cause)
-		r.reconcile(prefix, cause)
+	for _, prefix := range r.ribInPrefixes(slot) {
+		pid, _ := r.net.lookupPrefix(prefix)
+		r.applyUpdate(slot, peer, pid, true, nil, cause)
+		r.reconcile(pid, cause)
 	}
 }
 
@@ -341,37 +447,80 @@ func (r *Router) peerDown(peer RouterID) {
 // routes per the export policy. Routes from the peer arrive as the peer does
 // the same.
 func (r *Router) peerUp(peer RouterID) {
-	cause := r.linkCause(peer, rcn.LinkUp)
+	slot := r.slotOf(peer)
+	cause := r.linkCause(slot, peer, rcn.LinkUp)
 	for _, prefix := range r.localPrefixes() {
-		r.syncPeer(peer, prefix, cause)
+		pid, _ := r.net.lookupPrefix(prefix)
+		r.syncPeer(slot, peer, pid, cause)
 	}
 }
 
-// ribInPrefixes returns the sorted prefixes with RIB-IN state from peer.
-func (r *Router) ribInPrefixes(peer RouterID) []Prefix {
-	m := r.ribIn[peer]
-	out := make([]Prefix, 0, len(m))
-	for p := range m {
-		out = append(out, p)
+// sortPrefixes sorts prefixes ascending. It is the single shared ordering
+// used by every prefix-enumeration site (RIB-IN, RIB-OUT, Local-RIB and the
+// network-wide set): fault handling and consistency checking walk prefixes
+// in this order, which is part of the engine's determinism contract.
+func sortPrefixes(ps []Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+}
+
+// ribInPrefixes returns the sorted prefixes with RIB-IN state from the peer
+// in slot.
+func (r *Router) ribInPrefixes(slot int32) []Prefix {
+	col := r.ribIn[slot]
+	out := make([]Prefix, 0, len(col))
+	for pid := range col {
+		if col[pid].seen {
+			out = append(out, r.net.prefixes[pid])
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortPrefixes(out)
+	return out
+}
+
+// ribOutPrefixes returns the sorted prefixes with RIB-OUT state toward the
+// peer in slot.
+func (r *Router) ribOutPrefixes(slot int32) []Prefix {
+	col := r.ribOut[slot]
+	out := make([]Prefix, 0, len(col))
+	for pid := range col {
+		if col[pid].seen {
+			out = append(out, r.net.prefixes[pid])
+		}
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// localPrefixes returns the sorted prefixes with Local-RIB or origination
+// state.
+func (r *Router) localPrefixes() []Prefix {
+	out := make([]Prefix, 0, len(r.local))
+	for pid := range r.local {
+		if r.local[pid].seen {
+			out = append(out, r.net.prefixes[pid])
+		}
+	}
+	for pid := range r.origSeen {
+		if r.origSeen[pid] && (pid >= len(r.local) || !r.local[pid].seen) {
+			out = append(out, r.net.prefixes[pid])
+		}
+	}
+	sortPrefixes(out)
 	return out
 }
 
 // armReuse replaces the entry's reuse timer with one firing at the given
 // virtual instant.
-func (r *Router) armReuse(e *ribInEntry, peer RouterID, prefix Prefix, at time.Duration) {
+func (r *Router) armReuse(e *ribInEntry, slot, pid int32, at time.Duration) {
 	e.reuseTimer.Cancel()
-	e.reuseTimer = r.net.kernel.At(at, "bgp.reuse", func() {
-		r.reuseExpired(peer, prefix)
-	})
+	e.reuseTimer = r.net.kernel.AtHandler(at, "bgp.reuse", &r.reuseH, packSlotPrefix(slot, pid))
 }
 
 // reuseExpired handles a reuse-timer firing: lift suppression if the penalty
 // has decayed enough, then re-run the decision process. Whether that changes
 // the Local-RIB is the paper's noisy/silent distinction (Section 4.2).
-func (r *Router) reuseExpired(peer RouterID, prefix Prefix) {
-	e := r.ribIn[peer][prefix]
+func (r *Router) reuseExpired(slot, pid int32) {
+	e := r.ribInAt(slot, pid)
 	if e == nil || e.damp == nil || !e.damp.Suppressed() {
 		return
 	}
@@ -379,15 +528,16 @@ func (r *Router) reuseExpired(peer RouterID, prefix Prefix) {
 	if !e.damp.TryReuse(now) {
 		// The penalty was re-charged after this timer was armed (and the
 		// rearm raced with delivery); try again at the new reuse instant.
-		r.armReuse(e, peer, prefix, now+e.damp.ReuseIn(now))
+		r.armReuse(e, slot, pid, now+e.damp.ReuseIn(now))
 		return
 	}
+	peer := r.peers[slot]
 	if h := r.net.hooks.OnSuppress; h != nil {
-		h(now, r.id, peer, prefix, false)
+		h(now, r.id, peer, r.net.prefixes[pid], false)
 	}
-	noisy := r.reconcile(prefix, e.cause)
+	noisy := r.reconcile(pid, e.cause)
 	if h := r.net.hooks.OnReuse; h != nil {
-		h(now, r.id, peer, prefix, noisy)
+		h(now, r.id, peer, r.net.prefixes[pid], noisy)
 	}
 }
 
@@ -407,19 +557,23 @@ func (r *Router) prefClass(peer RouterID) int {
 	}
 }
 
-// decide runs the BGP decision process for prefix over the usable RIB-IN
-// entries: policy preference, then shortest AS path, then lowest peer ID.
-// Suppressed entries are excluded (the damping rule: a suppressed route does
-// not enter the Local-RIB).
-func (r *Router) decide(prefix Prefix) localEntry {
-	if r.originated[prefix] {
+// decide runs the BGP decision process for a prefix id over the usable
+// RIB-IN entries: policy preference, then shortest AS path, then lowest peer
+// ID. Suppressed entries are excluded (the damping rule: a suppressed route
+// does not enter the Local-RIB).
+func (r *Router) decide(pid int32) localEntry {
+	if r.isOriginated(pid) {
 		return localEntry{hasRoute: true, bestPeer: selfPeer}
 	}
 	var best localEntry
 	bestClass := 0
-	for _, p := range r.peers {
-		e := r.ribIn[p][prefix]
-		if e == nil || e.path == nil {
+	for s, p := range r.peers {
+		col := r.ribIn[s]
+		if int(pid) >= len(col) {
+			continue
+		}
+		e := &col[pid]
+		if !e.seen || e.path == nil {
 			continue
 		}
 		if e.damp != nil && e.damp.Suppressed() {
@@ -448,24 +602,26 @@ func (r *Router) decide(prefix Prefix) localEntry {
 // reconcile re-runs the decision process and, if the Local-RIB changed,
 // synchronizes every RIB-OUT (sending or scheduling updates stamped with the
 // triggering root cause). It reports whether the Local-RIB changed.
-func (r *Router) reconcile(prefix Prefix, trigger rcn.Cause) bool {
-	old := r.local[prefix]
-	best := r.decide(prefix)
+func (r *Router) reconcile(pid int32, trigger rcn.Cause) bool {
+	r.local = extend(r.local, int(pid)+1)
+	old := r.local[pid]
+	best := r.decide(pid)
 	if best.equal(old) {
 		return false
 	}
-	r.local[prefix] = best
-	for _, q := range r.peers {
-		r.syncPeer(q, prefix, trigger)
+	best.seen = true
+	r.local[pid] = best
+	for s, q := range r.peers {
+		r.syncPeer(int32(s), q, pid, trigger)
 	}
 	return true
 }
 
 // exportPath computes what (if anything) the router should advertise to peer
-// q for prefix under the active policy: the best path with the router
-// prepended, or nil when filtered.
-func (r *Router) exportPath(q RouterID, prefix Prefix) Path {
-	l := r.local[prefix]
+// q for a prefix id under the active policy: the canonical (interned) best
+// path with the router prepended, or nil when filtered.
+func (r *Router) exportPath(q RouterID, pid int32) Path {
+	l := r.localAt(pid)
 	if !l.hasRoute {
 		return nil
 	}
@@ -478,7 +634,7 @@ func (r *Router) exportPath(q RouterID, prefix Prefix) Path {
 			return nil
 		}
 	}
-	adv := l.bestPath.Prepend(r.id)
+	adv := r.net.paths.prepend(r.id, l.bestPath)
 	if adv.Contains(q) {
 		// Sender-side loop filter; also covers "don't echo a route back to
 		// the peer it was learned from".
@@ -487,10 +643,10 @@ func (r *Router) exportPath(q RouterID, prefix Prefix) Path {
 	return adv
 }
 
-// syncPeer brings the RIB-OUT for (q, prefix) in line with the current
+// syncPeer brings the RIB-OUT for (q, prefix id) in line with the current
 // export decision. Withdrawals leave immediately; announcements respect the
 // MRAI timer (pending until it fires).
-func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
+func (r *Router) syncPeer(slot int32, q RouterID, pid int32, trigger rcn.Cause) {
 	if !r.net.SessionUp(r.id, q) {
 		// No established session: nothing to synchronize. RIB-OUT state for
 		// the session was discarded when it went down, and recording a new
@@ -500,8 +656,8 @@ func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
 		// re-syncs from scratch instead.
 		return
 	}
-	out := r.outEntry(q, prefix)
-	desired := r.exportPath(q, prefix)
+	out := r.ensureRibOut(slot, pid)
+	desired := r.exportPath(q, pid)
 	switch {
 	case desired == nil && out.advertised == nil:
 		// Nothing advertised, nothing to advertise; drop any pending update.
@@ -510,7 +666,7 @@ func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
 		// Withdrawals are not rate limited.
 		out.advertised = nil
 		out.pending = false
-		r.net.send(Message{From: r.id, To: q, Prefix: prefix, Withdraw: true, Cause: trigger})
+		r.net.send(Message{From: r.id, To: q, Prefix: r.net.prefixes[pid], Withdraw: true, Cause: trigger})
 	case desired.Equal(out.advertised):
 		out.pending = false
 	default:
@@ -519,16 +675,17 @@ func (r *Router) syncPeer(q RouterID, prefix Prefix, trigger rcn.Cause) {
 			out.pendingPath = desired
 			out.pendingCause = trigger
 		} else {
-			r.sendAnnouncement(q, prefix, out, desired, trigger)
+			r.sendAnnouncement(slot, q, pid, out, desired, trigger)
 		}
 	}
 }
 
-// sendAnnouncement transmits an announcement and starts the MRAI timer.
-func (r *Router) sendAnnouncement(q RouterID, prefix Prefix, out *ribOutEntry, path Path, cause rcn.Cause) {
+// sendAnnouncement transmits an announcement and starts the MRAI timer. path
+// must be interned: the message carries it without copying.
+func (r *Router) sendAnnouncement(slot int32, q RouterID, pid int32, out *ribOutEntry, path Path, cause rcn.Cause) {
 	out.advertised = path
 	out.pending = false
-	r.net.send(Message{From: r.id, To: q, Prefix: prefix, Path: path.Clone(), Cause: cause})
+	r.net.send(Message{From: r.id, To: q, Prefix: r.net.prefixes[pid], Path: path, Cause: cause})
 	mrai := r.net.cfg.MRAI
 	if mrai <= 0 {
 		return
@@ -538,32 +695,35 @@ func (r *Router) sendAnnouncement(q RouterID, prefix Prefix, out *ribOutEntry, p
 		// [0.75, 1.0).
 		mrai = time.Duration(float64(mrai) * (0.75 + 0.25*r.rng.Float64()))
 	}
-	out.mrai = r.net.kernel.After(mrai, "bgp.mrai", func() {
-		r.mraiExpired(q, prefix)
-	})
+	out.mrai = r.net.kernel.AfterHandler(mrai, "bgp.mrai", &r.mraiH, packSlotPrefix(slot, pid))
 }
 
 // mraiExpired releases a pending announcement, if one is still wanted.
-func (r *Router) mraiExpired(q RouterID, prefix Prefix) {
-	out := r.outEntry(q, prefix)
-	if !out.pending {
+func (r *Router) mraiExpired(slot, pid int32) {
+	out := r.ribOutAt(slot, pid)
+	if out == nil || !out.pending {
 		return
 	}
-	r.sendAnnouncement(q, prefix, out, out.pendingPath, out.pendingCause)
+	r.sendAnnouncement(slot, r.peers[slot], pid, out, out.pendingPath, out.pendingCause)
 }
 
 // resetDamping clears damping penalties, suppression flags, reuse timers and
 // RCN histories, leaving routes untouched. See Network.ResetDamping.
 func (r *Router) resetDamping() {
-	for _, p := range r.peers {
-		for _, e := range r.ribIn[p] {
+	for s := range r.peers {
+		col := r.ribIn[s]
+		for i := range col {
+			e := &col[i]
+			if !e.seen {
+				continue
+			}
 			if e.damp != nil {
 				e.damp.Reset()
 			}
 			e.reuseTimer.Cancel()
-			e.reuseTimer = nil
+			e.reuseTimer = sim.Timer{}
 		}
-		r.history[p] = rcn.NewHistory(r.net.cfg.RCNHistorySize)
+		r.history[s] = r.newHistory()
 	}
 }
 
@@ -573,18 +733,20 @@ func (r *Router) resetDamping() {
 // static configuration that outlives a reboot, the latter keeps root-cause
 // sequence numbers monotonic across the restart.
 func (r *Router) crash() {
-	for _, p := range r.peers {
-		for _, e := range r.ribIn[p] {
-			e.reuseTimer.Cancel()
+	for s := range r.peers {
+		colIn := r.ribIn[s]
+		for i := range colIn {
+			colIn[i].reuseTimer.Cancel()
 		}
-		for _, o := range r.ribOut[p] {
-			o.mrai.Cancel()
+		clear(colIn)
+		colOut := r.ribOut[s]
+		for i := range colOut {
+			colOut[i].mrai.Cancel()
 		}
-		r.ribIn[p] = make(map[Prefix]*ribInEntry)
-		r.ribOut[p] = make(map[Prefix]*ribOutEntry)
-		r.history[p] = rcn.NewHistory(r.net.cfg.RCNHistorySize)
+		clear(colOut)
+		r.history[s] = r.newHistory()
 	}
-	r.local = make(map[Prefix]localEntry)
+	clear(r.local)
 }
 
 // restart rebuilds the router after a crash: it re-runs origination for its
@@ -593,14 +755,15 @@ func (r *Router) crash() {
 // (Network.RestartRouter drives that side).
 func (r *Router) restart() {
 	prefixes := make([]Prefix, 0, len(r.originated))
-	for p, on := range r.originated {
+	for pid, on := range r.originated {
 		if on {
-			prefixes = append(prefixes, p)
+			prefixes = append(prefixes, r.net.prefixes[pid])
 		}
 	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	sortPrefixes(prefixes)
 	for _, prefix := range prefixes {
-		r.reconcile(prefix, r.originationCause(prefix, rcn.LinkUp))
+		pid, _ := r.net.lookupPrefix(prefix)
+		r.reconcile(pid, r.originationCause(pid, rcn.LinkUp))
 	}
 }
 
@@ -608,9 +771,10 @@ func (r *Router) restart() {
 // currently suppressed.
 func (r *Router) suppressedCount() int {
 	total := 0
-	for _, p := range r.peers {
-		for _, e := range r.ribIn[p] {
-			if e.damp != nil && e.damp.Suppressed() {
+	for s := range r.peers {
+		col := r.ribIn[s]
+		for i := range col {
+			if e := &col[i]; e.seen && e.damp != nil && e.damp.Suppressed() {
 				total++
 			}
 		}
@@ -618,40 +782,12 @@ func (r *Router) suppressedCount() int {
 	return total
 }
 
-// ribOutPrefixes returns the sorted prefixes with RIB-OUT state toward peer.
-func (r *Router) ribOutPrefixes(peer RouterID) []Prefix {
-	m := r.ribOut[peer]
-	out := make([]Prefix, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// localPrefixes returns the sorted prefixes with Local-RIB or origination
-// state.
-func (r *Router) localPrefixes() []Prefix {
-	set := make(map[Prefix]struct{}, len(r.local))
-	for p := range r.local {
-		set[p] = struct{}{}
-	}
-	for p := range r.originated {
-		set[p] = struct{}{}
-	}
-	out := make([]Prefix, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // checkLocalRIB verifies the stored Local-RIB entry equals a fresh run of
 // the decision process.
 func (r *Router) checkLocalRIB(prefix Prefix) error {
-	want := r.decide(prefix)
-	got := r.local[prefix]
+	pid, _ := r.net.lookupPrefix(prefix)
+	want := r.decide(pid)
+	got := r.localAt(pid)
 	if !got.equal(want) {
 		return fmt.Errorf("bgp: router %d prefix %s: Local-RIB (peer %d, path [%s]) != decision (peer %d, path [%s])",
 			r.id, prefix, got.bestPeer, got.bestPath, want.bestPeer, want.bestPath)

@@ -12,7 +12,7 @@ package bgp
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"rfd/rcn"
 	"rfd/topology"
@@ -50,10 +50,15 @@ func (p Path) Contains(id RouterID) bool {
 	return false
 }
 
-// Equal reports element-wise equality.
+// Equal reports element-wise equality. Paths sharing a backing array — the
+// common case inside the engine, where every path is interned per network —
+// compare with a single pointer check.
 func (p Path) Equal(q Path) bool {
 	if len(p) != len(q) {
 		return false
+	}
+	if len(p) == 0 || &p[0] == &q[0] {
+		return true
 	}
 	for i := range p {
 		if p[i] != q[i] {
@@ -66,9 +71,10 @@ func (p Path) Equal(q Path) bool {
 // Prepend returns a new path with id prepended (what a router advertises to
 // its peers: itself followed by its best path).
 func (p Path) Prepend(id RouterID) Path {
-	out := make(Path, 0, len(p)+1)
-	out = append(out, id)
-	return append(out, p...)
+	out := make(Path, len(p)+1)
+	out[0] = id
+	copy(out[1:], p)
+	return out
 }
 
 // String renders the path like "3 7 12".
@@ -76,14 +82,14 @@ func (p Path) String() string {
 	if len(p) == 0 {
 		return "<empty>"
 	}
-	var sb strings.Builder
+	buf := make([]byte, 0, 4*len(p))
 	for i, hop := range p {
 		if i > 0 {
-			sb.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
-		fmt.Fprintf(&sb, "%d", hop)
+		buf = strconv.AppendInt(buf, int64(hop), 10)
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // Message is one BGP update: an announcement (Path non-nil) or a withdrawal
@@ -96,6 +102,9 @@ type Message struct {
 	// Withdraw marks the update as a withdrawal.
 	Withdraw bool
 	// Path is the advertised AS path (announcements only). Path[0] == From.
+	// Inside the engine every message path is interned in the network's
+	// shared table and therefore immutable: observers (hooks, traces) must
+	// not modify it, and should Clone before retaining a mutable copy.
 	Path Path
 	// Cause is the attached root cause; zero when RCN is disabled or the
 	// update has no known cause.

@@ -10,12 +10,15 @@
 //	rfdsim -damping off -pulses 3             # plain BGP baseline
 //	rfdsim -pulses 3 -loss 0.01 -jitter 5ms   # 1% message loss, 5ms delay jitter
 //	rfdsim -pulses 1 -faults plan.txt         # scripted faults (see faults.ParsePlan)
+//	rfdsim -pulses 5 -cpuprofile cpu.out      # profile the run (go tool pprof cpu.out)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rfd/bgp"
@@ -53,9 +56,37 @@ func run(args []string) error {
 		faultFile = fs.String("faults", "", "apply the fault plan in this file (faults.ParsePlan format)")
 		loss      = fs.Float64("loss", 0, "uniform message-loss probability in [0, 1]")
 		jitter    = fs.Duration("jitter", 0, "maximum extra per-message delay (uniform in [0, jitter))")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfdsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rfdsim: memprofile:", err)
+			}
+		}()
 	}
 
 	g, defaultISP, err := buildTopology(*topo, *rows, *cols, *nodes, *seed)

@@ -1,0 +1,147 @@
+package rfd_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/faults"
+	"rfd/sim"
+	"rfd/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracePath is the recorded kernel event trace of the reference run.
+// It was captured before the allocation-free core rewrite (interned paths,
+// slab event queue, dense RIBs) and pins the engine's event-for-event
+// behaviour: any change to scheduling order, timer interaction, or fault
+// handling shows up as a trace diff.
+const goldenTracePath = "testdata/golden_trace_mesh5x5_faulty.txt"
+
+// mesh5FaultyTrace runs the reference scenario — a seeded 5×5 torus with
+// Cisco damping, 1% uniform message loss plus delivery jitter, three
+// scripted session resets, and two full (withdrawal, announcement) pulses —
+// and returns the byte trace of every kernel event, captured via
+// sim.Kernel.SetTrace as "<nanoseconds> <event name>" lines.
+func mesh5FaultyTrace(t testing.TB) []byte {
+	t.Helper()
+	g, err := topology.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bgp.DefaultConfig()
+	params := damping.Cisco()
+	cfg.Damping = &params
+	cfg.Seed = 1
+
+	k := sim.NewKernel(sim.WithSeed(cfg.Seed))
+	n, err := bgp.NewNetwork(k, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	scratch := make([]byte, 0, 32)
+	k.SetTrace(func(at time.Duration, name string) {
+		scratch = strconv.AppendInt(scratch[:0], int64(at), 10)
+		scratch = append(scratch, ' ')
+		scratch = append(scratch, name...)
+		scratch = append(scratch, '\n')
+		buf.Write(scratch)
+	})
+
+	const prefix = bgp.Prefix("origin/8")
+	origin := bgp.RouterID(24)
+
+	// Warm-up (traced too: construction-time scheduling is part of the
+	// behaviour under test).
+	n.Router(origin).Originate(prefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetDamping()
+
+	// Fault phase: impairment plus scripted session resets, then two pulses.
+	imp := faults.NewImpairments(cfg.Seed)
+	if err := imp.SetDefault(faults.Profile{Loss: 0.01, MaxJitter: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetImpairment(imp)
+	plan := faults.NewPlan(
+		faults.ResetSession(30*time.Second, 0, 1),
+		faults.ResetSession(90*time.Second, 5, 6),
+		faults.ResetSession(150*time.Second, 12, 13),
+	)
+	if err := plan.Apply(n, k.Now(), imp); err != nil {
+		t.Fatal(err)
+	}
+	const interval = 60 * time.Second
+	for pulse := 0; pulse < 2; pulse++ {
+		n.Router(origin).StopOriginating(prefix)
+		if err := k.RunUntil(k.Now() + interval); err != nil {
+			t.Fatal(err)
+		}
+		n.Router(origin).Originate(prefix)
+		if err := k.RunUntil(k.Now() + interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "end %d executed %d delivered %d dropped %d\n",
+		int64(k.Now()), k.Executed(), n.Delivered(), n.Dropped())
+	return buf.Bytes()
+}
+
+// TestGoldenTraceMesh5Faulty asserts the engine reproduces, byte for byte,
+// the kernel event trace recorded before the allocation-free core rewrite.
+// Run with -update to re-record after an intentional behaviour change.
+func TestGoldenTraceMesh5Faulty(t *testing.T) {
+	got := mesh5FaultyTrace(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenTracePath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to record): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			if got[i] == '\n' {
+				line++
+			}
+			i++
+		}
+		t.Fatalf("trace diverges from %s at byte %d (line %d): got %d bytes, want %d bytes",
+			goldenTracePath, i, line, len(got), len(want))
+	}
+}
+
+// TestGoldenTraceRepeatable guards the golden test itself: two in-process
+// runs of the reference scenario must agree, so a golden failure always
+// means a behaviour change, never nondeterminism in the harness.
+func TestGoldenTraceRepeatable(t *testing.T) {
+	a := mesh5FaultyTrace(t)
+	b := mesh5FaultyTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different traces")
+	}
+}

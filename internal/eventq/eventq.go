@@ -4,108 +4,186 @@
 // It is an indexed binary min-heap ordered by (time, sequence number): events
 // scheduled for the same instant fire in the order they were scheduled, which
 // is what makes whole-network simulations deterministic. Entries can be
-// cancelled or rescheduled in O(log n) via the handle returned at push time,
+// cancelled or rescheduled in O(log n) via the Handle returned at push time,
 // which the BGP engine uses for MRAI and damping reuse timers.
+//
+// The queue is slab-backed: entries live in a freelist-managed slice of slots
+// rather than one heap allocation each, and handles are (index, generation)
+// pairs instead of pointers. In steady state — pushes balanced by pops and
+// cancels — scheduling allocates nothing, which keeps the simulator's
+// per-event cost out of the garbage collector entirely. The generation
+// counter makes stale handles (fired or cancelled entries, even after their
+// slot has been reused) reliably detectable.
 package eventq
 
 import "time"
 
-// Item is a scheduled entry. The queue owns the Time/seq/index fields;
-// Payload is opaque to it.
-type Item struct {
-	// Time is the virtual instant the item fires at.
-	Time time.Duration
-	// Payload is the caller's event data.
-	Payload any
-
-	seq   uint64
-	index int // position in heap; -1 once removed
+// Handle identifies a scheduled entry. The zero Handle is invalid and inert:
+// Cancel, Reschedule, Scheduled and When all treat it as "not scheduled".
+// Handles stay invalid after their entry fires or is cancelled, even once the
+// underlying slot is reused for a later entry.
+type Handle struct {
+	idx int32
+	gen uint32
 }
 
-// Scheduled reports whether the item is still in a queue (i.e., has neither
-// fired nor been cancelled).
-func (it *Item) Scheduled() bool { return it != nil && it.index >= 0 }
+// slot is one slab cell. A slot is live when pos >= 0; freeing it bumps gen
+// (invalidating outstanding handles) and zeroes the payload so the queue
+// never retains references through fired events.
+type slot[P any] struct {
+	time    time.Duration
+	seq     uint64
+	payload P
+	gen     uint32
+	pos     int32 // index into heap; -1 when free
+}
 
-// Queue is a deterministic time-ordered priority queue.
-// The zero value is an empty queue ready for use.
-type Queue struct {
-	items   []*Item
+// Queue is a deterministic time-ordered priority queue with payload type P.
+// The zero value is an empty queue ready for use. Entries pushed with equal
+// times fire in push order (FIFO by sequence number).
+type Queue[P any] struct {
+	slots   []slot[P]
+	heap    []int32 // heap[i] is a slot index
+	free    []int32 // free slot indices
 	nextSeq uint64
 }
 
-// Len returns the number of pending items.
-func (q *Queue) Len() int { return len(q.items) }
+// Len returns the number of pending entries.
+func (q *Queue[P]) Len() int { return len(q.heap) }
 
-// Push schedules payload at time t and returns a handle usable with Cancel
-// and Reschedule. Items pushed with equal t fire in push order.
-func (q *Queue) Push(t time.Duration, payload any) *Item {
-	it := &Item{Time: t, Payload: payload, seq: q.nextSeq}
+// Push schedules payload at time t and returns a handle usable with Cancel,
+// Reschedule and When. Entries pushed with equal t fire in push order.
+func (q *Queue[P]) Push(t time.Duration, payload P) Handle {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, slot[P]{gen: 1})
+		idx = int32(len(q.slots) - 1)
+	}
+	s := &q.slots[idx]
+	s.time = t
+	s.seq = q.nextSeq
+	s.payload = payload
+	s.pos = int32(len(q.heap))
 	q.nextSeq++
-	it.index = len(q.items)
-	q.items = append(q.items, it)
-	q.up(it.index)
-	return it
+	q.heap = append(q.heap, idx)
+	q.up(int(s.pos))
+	return Handle{idx: idx, gen: s.gen}
 }
 
-// Peek returns the earliest item without removing it, or nil if empty.
-func (q *Queue) Peek() *Item {
-	if len(q.items) == 0 {
-		return nil
+// PeekTime returns the time of the earliest entry and whether one exists.
+func (q *Queue[P]) PeekTime() (time.Duration, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
 	}
-	return q.items[0]
+	return q.slots[q.heap[0]].time, true
 }
 
-// Pop removes and returns the earliest item, or nil if empty.
-func (q *Queue) Pop() *Item {
-	if len(q.items) == 0 {
-		return nil
+// Pop removes the earliest entry and returns its time and payload. ok is
+// false when the queue is empty. The entry's handle becomes invalid.
+func (q *Queue[P]) Pop() (at time.Duration, payload P, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, payload, false
 	}
-	it := q.items[0]
-	q.remove(0)
-	return it
+	idx := q.heap[0]
+	s := &q.slots[idx]
+	at = s.time
+	payload = s.payload
+	q.removeAt(0)
+	return at, payload, true
 }
 
-// Cancel removes it from the queue. It reports whether the item was still
-// scheduled; cancelling an already-fired or already-cancelled item is a no-op.
-func (q *Queue) Cancel(it *Item) bool {
-	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+// Cancel removes the entry h refers to. It reports whether the entry was
+// still scheduled; cancelling a fired, cancelled or zero handle is a no-op.
+func (q *Queue[P]) Cancel(h Handle) bool {
+	s := q.lookup(h)
+	if s == nil {
 		return false
 	}
-	q.remove(it.index)
+	q.removeAt(int(s.pos))
 	return true
 }
 
-// Reschedule moves a still-scheduled item to a new time, keeping its payload.
-// It reports whether the item was scheduled. A rescheduled item keeps its
-// original sequence number, so among equal times it still fires in original
-// push order.
-func (q *Queue) Reschedule(it *Item, t time.Duration) bool {
-	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+// Reschedule moves a still-scheduled entry to a new time, keeping its
+// payload. It reports whether the entry was scheduled. A rescheduled entry
+// keeps its original sequence number, so among equal times it still fires in
+// original push order.
+func (q *Queue[P]) Reschedule(h Handle, t time.Duration) bool {
+	s := q.lookup(h)
+	if s == nil {
 		return false
 	}
-	it.Time = t
-	if !q.down(it.index) {
-		q.up(it.index)
+	s.time = t
+	if !q.down(int(s.pos)) {
+		q.up(int(s.pos))
 	}
 	return true
 }
 
-// less orders by (Time, seq).
-func (q *Queue) less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if a.Time != b.Time {
-		return a.Time < b.Time
+// Scheduled reports whether h refers to a still-pending entry.
+func (q *Queue[P]) Scheduled(h Handle) bool { return q.lookup(h) != nil }
+
+// When returns the time a still-scheduled entry fires at. ok is false for
+// fired, cancelled or zero handles.
+func (q *Queue[P]) When(h Handle) (time.Duration, bool) {
+	s := q.lookup(h)
+	if s == nil {
+		return 0, false
+	}
+	return s.time, true
+}
+
+// lookup resolves a handle to its live slot, nil when stale or invalid.
+func (q *Queue[P]) lookup(h Handle) *slot[P] {
+	if h.gen == 0 || int(h.idx) >= len(q.slots) {
+		return nil
+	}
+	s := &q.slots[h.idx]
+	if s.gen != h.gen || s.pos < 0 {
+		return nil
+	}
+	return s
+}
+
+// removeAt deletes the heap entry at position i and frees its slot.
+func (q *Queue[P]) removeAt(i int) {
+	idx := q.heap[i]
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap = q.heap[:last]
+	if i < last {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	s := &q.slots[idx]
+	s.pos = -1
+	s.gen++
+	var zero P
+	s.payload = zero
+	q.free = append(q.free, idx)
+}
+
+// less orders heap positions by (time, seq).
+func (q *Queue[P]) less(i, j int) bool {
+	a, b := &q.slots[q.heap[i]], &q.slots[q.heap[j]]
+	if a.time != b.time {
+		return a.time < b.time
 	}
 	return a.seq < b.seq
 }
 
-func (q *Queue) swap(i, j int) {
-	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.items[i].index = i
-	q.items[j].index = j
+func (q *Queue[P]) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.slots[q.heap[i]].pos = int32(i)
+	q.slots[q.heap[j]].pos = int32(j)
 }
 
-func (q *Queue) up(i int) {
+func (q *Queue[P]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !q.less(i, parent) {
@@ -116,10 +194,11 @@ func (q *Queue) up(i int) {
 	}
 }
 
-// down sifts the item at i toward the leaves; reports whether it moved.
-func (q *Queue) down(i int) bool {
+// down sifts the entry at position i toward the leaves; reports whether it
+// moved.
+func (q *Queue[P]) down(i int) bool {
 	start := i
-	n := len(q.items)
+	n := len(q.heap)
 	for {
 		left := 2*i + 1
 		if left >= n {
@@ -136,21 +215,4 @@ func (q *Queue) down(i int) bool {
 		i = child
 	}
 	return i != start
-}
-
-// remove deletes the item at position i.
-func (q *Queue) remove(i int) {
-	it := q.items[i]
-	last := len(q.items) - 1
-	if i != last {
-		q.swap(i, last)
-	}
-	q.items[last] = nil
-	q.items = q.items[:last]
-	it.index = -1
-	if i < last {
-		if !q.down(i) {
-			q.up(i)
-		}
-	}
 }

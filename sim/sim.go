@@ -9,6 +9,13 @@
 // exactly reproducible. (Parallelism lives a level up — independent runs of a
 // parameter sweep execute on separate kernels in separate goroutines.)
 //
+// Scheduling comes in two flavors. At/After take an ordinary closure and are
+// right for cold-path events (fault injection, experiment orchestration).
+// AtHandler/AfterHandler take a Handler plus a packed uint64 argument and
+// allocate nothing in steady state — the event queue is slab-backed, the
+// Timer handle is a value, and no closure is created — which is what the BGP
+// engine's per-message hot path (deliver, MRAI, damping reuse) uses.
+//
 // Basic use:
 //
 //	k := sim.NewKernel(sim.WithSeed(1))
@@ -36,52 +43,77 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 // while still catching runaway schedules quickly.
 const DefaultMaxEvents = 200_000_000
 
-// Timer is a handle to a scheduled callback. A nil Timer is inert: Cancel and
-// Active are safe to call and do nothing.
+// Never is the sentinel Timer.When reports for a timer that is not pending —
+// fired, cancelled, or never scheduled. It is a virtual instant no event can
+// occupy (the kernel's clock never goes negative).
+const Never = time.Duration(-1 << 62)
+
+// Handler receives typed events scheduled with AtHandler/AfterHandler. The
+// packed arg is whatever the scheduler passed — typically an index into the
+// component's own state (a slab slot, or bit-packed peer/prefix ids).
+// Implementations live in the scheduling component; taking the interface of
+// a field pointer (&r.someHandler) avoids any per-schedule allocation.
+type Handler interface {
+	HandleEvent(arg uint64)
+}
+
+// Timer is a value handle to a scheduled callback. The zero Timer is inert:
+// Active and When report not-pending, Cancel and Reschedule do nothing.
+// Timers stay inert after firing or cancellation, even though the kernel
+// reuses the underlying queue slot for later events.
 type Timer struct {
-	k    *Kernel
-	item *eventq.Item
+	k *Kernel
+	h eventq.Handle
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.item.Scheduled()
+func (t Timer) Active() bool {
+	return t.k != nil && t.k.q.Scheduled(t.h)
 }
 
 // Cancel stops the timer. It reports whether the timer was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil {
+func (t Timer) Cancel() bool {
+	if t.k == nil {
 		return false
 	}
-	return t.k.q.Cancel(t.item)
+	return t.k.q.Cancel(t.h)
 }
 
 // Reschedule moves a still-pending timer to virtual time at. It reports
 // whether the timer was pending. Rescheduling into the past (before Now) is a
 // programming error and panics, because it would silently corrupt causality.
-func (t *Timer) Reschedule(at time.Duration) bool {
-	if t == nil {
+func (t Timer) Reschedule(at time.Duration) bool {
+	if t.k == nil {
 		return false
 	}
 	if at < t.k.now {
 		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, t.k.now))
 	}
-	return t.k.q.Reschedule(t.item, at)
+	return t.k.q.Reschedule(t.h, at)
 }
 
-// When returns the virtual time the timer will fire at. Meaningless (but
-// harmless) for inactive timers.
-func (t *Timer) When() time.Duration {
-	if t == nil {
-		return 0
+// When returns the virtual time the timer will fire at, or Never when the
+// timer is not pending (fired, cancelled, or the zero Timer). Callers that
+// compare When against the clock or another event time should treat Never as
+// "no deadline" — it is far earlier than any schedulable instant.
+func (t Timer) When() time.Duration {
+	if t.k == nil {
+		return Never
 	}
-	return t.item.Time
+	at, ok := t.k.q.When(t.h)
+	if !ok {
+		return Never
+	}
+	return at
 }
 
-// event is what the queue stores.
+// event is what the queue stores: a closure callback (fn non-nil) or a typed
+// handler/arg pair. The name is used only for tracing and diagnostics.
 type event struct {
 	name string
 	fn   func()
+	h    Handler
+	arg  uint64
 }
 
 // TraceFunc observes every event as it fires; see Kernel.SetTrace.
@@ -90,7 +122,7 @@ type TraceFunc func(at time.Duration, name string)
 // Kernel is a deterministic discrete-event scheduler. Construct with
 // NewKernel; a Kernel must not be shared between goroutines.
 type Kernel struct {
-	q         eventq.Queue
+	q         eventq.Queue[event]
 	now       time.Duration
 	rng       *xrand.Rand
 	executed  uint64
@@ -152,45 +184,70 @@ func (k *Kernel) Trace() TraceFunc { return k.trace }
 // the gap larger than its grace window knows the system is quiescent for at
 // least that long (the convergence watchdog relies on this).
 func (k *Kernel) NextEventTime() (time.Duration, bool) {
-	if head := k.q.Peek(); head != nil {
-		return head.Time, true
+	return k.q.PeekTime()
+}
+
+// checkSchedule validates a schedule time against the causal order.
+func (k *Kernel) checkSchedule(at time.Duration, name string) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, k.now))
 	}
-	return 0, false
 }
 
 // At schedules fn at absolute virtual time at. Scheduling in the past panics:
 // it would break the causal order every experiment relies on. The name is
-// only used for tracing and diagnostics.
-func (k *Kernel) At(at time.Duration, name string, fn func()) *Timer {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, k.now))
-	}
+// only used for tracing and diagnostics. The closure this stores allocates;
+// hot paths should use AtHandler instead.
+func (k *Kernel) At(at time.Duration, name string, fn func()) Timer {
+	k.checkSchedule(at, name)
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	item := k.q.Push(at, event{name: name, fn: fn})
-	return &Timer{k: k, item: item}
+	h := k.q.Push(at, event{name: name, fn: fn})
+	return Timer{k: k, h: h}
 }
 
 // After schedules fn d after the current virtual time. Negative d panics.
-func (k *Kernel) After(d time.Duration, name string, fn func()) *Timer {
+func (k *Kernel) After(d time.Duration, name string, fn func()) Timer {
 	return k.At(k.now+d, name, fn)
+}
+
+// AtHandler schedules h.HandleEvent(arg) at absolute virtual time at. It is
+// the allocation-free scheduling path: no closure is created and the queue
+// entry lives in a pooled slab. Semantics otherwise match At — scheduling in
+// the past panics, and the name is used only for tracing.
+func (k *Kernel) AtHandler(at time.Duration, name string, h Handler, arg uint64) Timer {
+	k.checkSchedule(at, name)
+	if h == nil {
+		panic("sim: schedule with nil handler")
+	}
+	hd := k.q.Push(at, event{name: name, h: h, arg: arg})
+	return Timer{k: k, h: hd}
+}
+
+// AfterHandler schedules h.HandleEvent(arg) d after the current virtual
+// time. Negative d panics.
+func (k *Kernel) AfterHandler(d time.Duration, name string, h Handler, arg uint64) Timer {
+	return k.AtHandler(k.now+d, name, h, arg)
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (k *Kernel) Step() bool {
-	item := k.q.Pop()
-	if item == nil {
+	at, ev, ok := k.q.Pop()
+	if !ok {
 		return false
 	}
-	k.now = item.Time
-	ev := item.Payload.(event)
+	k.now = at
 	k.executed++
 	if k.trace != nil {
 		k.trace(k.now, ev.name)
 	}
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.HandleEvent(ev.arg)
+	}
 	return true
 }
 
@@ -211,8 +268,8 @@ func (k *Kernel) Run() error {
 // the same condition as Run.
 func (k *Kernel) RunUntil(horizon time.Duration) error {
 	for {
-		head := k.q.Peek()
-		if head == nil || head.Time > horizon {
+		headAt, ok := k.q.PeekTime()
+		if !ok || headAt > horizon {
 			break
 		}
 		if k.executed >= k.maxEvents {

@@ -45,7 +45,7 @@ func TestRunUntilDoesNotRewindClock(t *testing.T) {
 func TestRescheduleDuringCallback(t *testing.T) {
 	k := NewKernel()
 	var order []string
-	var b *Timer
+	var b Timer
 	k.At(time.Second, "a", func() {
 		order = append(order, "a")
 		// Push b from 2s out to 5s.
@@ -69,7 +69,7 @@ func TestRescheduleDuringCallback(t *testing.T) {
 func TestCancelDuringCallback(t *testing.T) {
 	k := NewKernel()
 	fired := false
-	var victim *Timer
+	var victim Timer
 	k.At(time.Second, "killer", func() { victim.Cancel() })
 	victim = k.At(2*time.Second, "victim", func() { fired = true })
 	if err := k.Run(); err != nil {
@@ -114,7 +114,7 @@ func TestManySimultaneousTimersDeterministic(t *testing.T) {
 
 func TestPendingCount(t *testing.T) {
 	k := NewKernel()
-	timers := make([]*Timer, 5)
+	timers := make([]Timer, 5)
 	for i := range timers {
 		timers[i] = k.After(time.Duration(i+1)*time.Second, "e", func() {})
 	}
@@ -130,6 +130,99 @@ func TestPendingCount(t *testing.T) {
 	}
 	if k.Pending() != 2 {
 		t.Fatalf("Pending after partial run = %d", k.Pending())
+	}
+}
+
+// countingHandler records typed-event deliveries for the handler tests.
+type countingHandler struct {
+	k    *Kernel
+	args []uint64
+	at   []time.Duration
+}
+
+func (h *countingHandler) HandleEvent(arg uint64) {
+	h.args = append(h.args, arg)
+	h.at = append(h.at, h.k.Now())
+}
+
+func TestHandlerEvents(t *testing.T) {
+	k := NewKernel()
+	h := &countingHandler{k: k}
+	var names []string
+	k.SetTrace(func(_ time.Duration, name string) { names = append(names, name) })
+	k.AtHandler(2*time.Second, "typed.b", h, 2)
+	k.AtHandler(1*time.Second, "typed.a", h, 1)
+	closureFired := false
+	k.After(1500*time.Millisecond, "closure", func() { closureFired = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.args) != 2 || h.args[0] != 1 || h.args[1] != 2 {
+		t.Fatalf("handler args = %v", h.args)
+	}
+	if h.at[0] != time.Second || h.at[1] != 2*time.Second {
+		t.Fatalf("handler times = %v", h.at)
+	}
+	if !closureFired {
+		t.Fatal("closure event interleaved with handlers did not fire")
+	}
+	want := []string{"typed.a", "closure", "typed.b"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestHandlerTimerCancel(t *testing.T) {
+	k := NewKernel()
+	h := &countingHandler{k: k}
+	tm := k.AfterHandler(time.Second, "typed", h, 7)
+	if !tm.Active() {
+		t.Fatal("fresh handler timer not active")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.args) != 0 {
+		t.Fatal("cancelled handler event fired")
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	NewKernel().AtHandler(time.Second, "bad", nil, 0)
+}
+
+// TestHandlerScheduleDoesNotAllocate pins the hot-path guarantee: once the
+// queue slab has warmed up, scheduling and firing typed events is
+// allocation-free.
+func TestHandlerScheduleDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	h := &countingHandler{k: k}
+	for i := 0; i < 64; i++ {
+		k.AfterHandler(time.Duration(i)*time.Millisecond, "warm", h, 0)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h.args = h.args[:0]
+	h.at = h.at[:0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterHandler(time.Millisecond, "steady", h, 1)
+		k.Step()
+		h.args = h.args[:0]
+		h.at = h.at[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state handler schedule allocates %.1f per op, want 0", allocs)
 	}
 }
 

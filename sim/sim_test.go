@@ -130,19 +130,52 @@ func TestTimerCancel(t *testing.T) {
 	}
 }
 
-func TestNilTimerSafe(t *testing.T) {
-	var timer *Timer
+func TestZeroTimerSafe(t *testing.T) {
+	var timer Timer
 	if timer.Active() {
-		t.Fatal("nil timer active")
+		t.Fatal("zero timer active")
 	}
 	if timer.Cancel() {
-		t.Fatal("nil timer cancel returned true")
+		t.Fatal("zero timer cancel returned true")
 	}
 	if timer.Reschedule(time.Second) {
-		t.Fatal("nil timer reschedule returned true")
+		t.Fatal("zero timer reschedule returned true")
 	}
-	if timer.When() != 0 {
-		t.Fatal("nil timer When != 0")
+	if timer.When() != Never {
+		t.Fatalf("zero timer When = %v, want Never", timer.When())
+	}
+}
+
+// TestTimerWhenSentinel pins the Never sentinel: When must not report the
+// stale schedule time once a timer has fired or been cancelled, even after
+// the kernel reuses the underlying queue slot for a later event.
+func TestTimerWhenSentinel(t *testing.T) {
+	k := NewKernel()
+	fired := k.After(time.Second, "fires", func() {})
+	if fired.When() != time.Second {
+		t.Fatalf("pending When = %v, want 1s", fired.When())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.When(); got != Never {
+		t.Fatalf("fired timer When = %v, want Never", got)
+	}
+
+	cancelled := k.After(time.Second, "cancelled", func() {})
+	cancelled.Cancel()
+	if got := cancelled.When(); got != Never {
+		t.Fatalf("cancelled timer When = %v, want Never", got)
+	}
+
+	// Reuse the freed slot: the stale handle must keep reporting Never, not
+	// the new occupant's time.
+	replacement := k.After(5*time.Second, "replacement", func() {})
+	if got := cancelled.When(); got != Never {
+		t.Fatalf("stale timer When after slot reuse = %v, want Never", got)
+	}
+	if replacement.When() != k.Now()+5*time.Second {
+		t.Fatalf("replacement When = %v", replacement.When())
 	}
 }
 
