@@ -1,0 +1,76 @@
+package rfd_test
+
+import (
+	"testing"
+
+	"rfd/bgp"
+	"rfd/damping"
+	"rfd/experiment"
+	"rfd/topology"
+)
+
+// sweepBenchScenario is the reference sweep workload: the paper-scale 10×10
+// damped mesh, swept over pulse counts 0..10 (the Fig 8/9 x-axis).
+func sweepBenchScenario(b *testing.B) (experiment.Scenario, []int) {
+	b.Helper()
+	g, err := topology.Torus(10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bgp.DefaultConfig()
+	params := damping.Cisco()
+	cfg.Damping = &params
+	return experiment.Scenario{Graph: g, ISP: 0, Config: cfg}, experiment.PulseRange(0, 10)
+}
+
+// BenchmarkSweepFork measures the warm-up amortization of checkpoint/fork
+// sweeps. "scratch" is the pre-optimization execution model — every pulse
+// point converges the network from nothing — while "fork" warms up once,
+// snapshots the converged network, and forks the checkpoint per point
+// (experiment.SweepParallel's model). Both run the points sequentially so the
+// comparison isolates forking from parallelism. Results are recorded in
+// BENCH_sweep.json; refresh with
+//
+//	go test -run '^$' -bench BenchmarkSweepFork -benchtime 3x -benchmem .
+func BenchmarkSweepFork(b *testing.B) {
+	b.Run("scratch", func(b *testing.B) {
+		base, pulses := sweepBenchScenario(b)
+		b.ReportAllocs()
+		var last *experiment.Result
+		for i := 0; i < b.N; i++ {
+			for _, n := range pulses {
+				sc := base
+				sc.Pulses = n
+				res, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		}
+		b.ReportMetric(last.ConvergenceTime.Seconds(), "conv_s")
+		b.ReportMetric(float64(last.MessageCount), "msgs")
+	})
+	b.Run("fork", func(b *testing.B) {
+		base, pulses := sweepBenchScenario(b)
+		b.ReportAllocs()
+		var last *experiment.Result
+		for i := 0; i < b.N; i++ {
+			cp, err := experiment.NewCheckpoint(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range pulses {
+				sc := base
+				sc.Pulses = n
+				res, err := cp.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		}
+		b.ReportMetric(last.ConvergenceTime.Seconds(), "conv_s")
+		b.ReportMetric(float64(last.MessageCount), "msgs")
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"rfd/experiment"
@@ -30,11 +31,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rfdfig", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | events | loss | all")
-		outDir = fs.String("out", "", "directory for CSV output (stdout when empty)")
-		small  = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		noPlot = fs.Bool("noplot", false, "suppress ASCII previews")
+		fig     = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | events | loss | all")
+		outDir  = fs.String("out", "", "directory for CSV output (stdout when empty)")
+		small   = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		noPlot  = fs.Bool("noplot", false, "suppress ASCII previews")
+		workers = fs.Int("workers", runtime.NumCPU(), "parallel simulation runs per sweep")
+		noCache = fs.Bool("nocache", false, "disable the cross-figure run cache (re-run scenarios shared between figures)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,6 +45,10 @@ func run(args []string) error {
 
 	opts := experiment.DefaultOptions()
 	opts.Seed = *seed
+	opts.Workers = *workers
+	if !*noCache {
+		opts.Cache = experiment.NewRunCache()
+	}
 	if *small {
 		opts.MeshRows, opts.MeshCols = 5, 5
 		opts.InternetNodes = 30
@@ -79,6 +86,9 @@ func run(args []string) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	if hits, misses, uncacheable := opts.Cache.Stats(); hits+misses+uncacheable > 0 {
+		fmt.Printf("run cache: %d hits, %d misses, %d uncacheable\n", hits, misses, uncacheable)
 	}
 	return nil
 }

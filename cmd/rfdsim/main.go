@@ -51,6 +51,8 @@ func run(args []string) error {
 		policy    = fs.String("policy", "shortest", "routing policy: shortest | novalley")
 		mrai      = fs.Duration("mrai", 30*time.Second, "minimum route advertisement interval (0 disables)")
 		seed      = fs.Uint64("seed", 1, "random seed")
+		sweep     = fs.String("sweep", "", `run a pulse sweep "from:to" (e.g. "0:10") instead of a single -pulses run`)
+		workers   = fs.Int("workers", runtime.NumCPU(), "parallel runs in -sweep mode")
 		verbose   = fs.Bool("v", false, "print the update series summary")
 		traceFile = fs.String("trace", "", "write a JSONL event trace to this file")
 		faultFile = fs.String("faults", "", "apply the fault plan in this file (faults.ParsePlan format)")
@@ -155,6 +157,12 @@ func run(args []string) error {
 			sc.Faults = plan
 		}
 	}
+	if *sweep != "" {
+		if *traceFile != "" {
+			return fmt.Errorf("-trace is incompatible with -sweep (one trace log cannot record parallel runs)")
+		}
+		return runSweep(sc, *sweep, *workers)
+	}
 	start := time.Now()
 	res, err := experiment.Run(sc)
 	if err != nil {
@@ -206,6 +214,35 @@ func run(args []string) error {
 				bin.Start.Seconds(), bin.Count, res.Damped.ValueAt(bin.Start))
 		}
 	}
+	return nil
+}
+
+// runSweep runs the scenario once per pulse count in [from, to] and prints
+// one row per point. The warm-up phase is shared: it executes once and every
+// point forks the converged checkpoint (see experiment.SweepParallel).
+func runSweep(sc experiment.Scenario, spec string, workers int) error {
+	var from, to int
+	if n, err := fmt.Sscanf(spec, "%d:%d", &from, &to); n != 2 || err != nil {
+		return fmt.Errorf(`bad -sweep %q (want "from:to", e.g. "0:10")`, spec)
+	}
+	pulses := experiment.PulseRange(from, to)
+	if len(pulses) == 0 {
+		return fmt.Errorf("bad -sweep %q: empty range", spec)
+	}
+	start := time.Now()
+	pts, err := experiment.SweepParallel(sc, pulses, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep             pulses %d..%d, %d workers, shared warm-up\n", from, to, workers)
+	fmt.Printf("%6s %14s %9s %11s %6s %7s\n",
+		"pulses", "convergence_s", "messages", "max_damped", "noisy", "silent")
+	for _, p := range pts {
+		fmt.Printf("%6d %14.0f %9d %11d %6d %7d\n", p.Pulses,
+			p.Result.ConvergenceTime.Seconds(), p.Result.MessageCount,
+			p.Result.MaxDamped, p.Result.NoisyReuses, p.Result.SilentReuses)
+	}
+	fmt.Printf("wall time         %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -120,6 +120,14 @@ func (s *State) TryReuse(now time.Duration) bool {
 	return false
 }
 
+// Clone returns an independent copy of the state: same params, penalty,
+// timestamp and suppression flag, sharing nothing with the original. Used by
+// the simulator's network fork to give each fork its own damping evolution.
+func (s *State) Clone() *State {
+	c := *s
+	return &c
+}
+
 // Reset clears penalty and suppression. Real routers do this when a peer
 // session is cleared; experiments use it between scenario phases.
 func (s *State) Reset() {

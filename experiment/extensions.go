@@ -58,7 +58,7 @@ func PartialDeployment(o Options, percents []int, pulses int) ([]DeploymentRow, 
 			return nil, err
 		}
 		sc.Pulses = pulses
-		res, err := Run(sc)
+		res, err := o.run(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: deployment %d%%: %w", pct, err)
 		}
@@ -119,21 +119,21 @@ func FilterComparison(o Options, pulses []int) ([]FilterRow, error) {
 		return nil, err
 	}
 
-	classic, err := Sweep(classicSc, pulses)
+	classic, err := o.sweep(classicSc, pulses)
 	if err != nil {
 		return nil, err
 	}
-	selective, err := Sweep(selSc, pulses)
+	selective, err := o.sweep(selSc, pulses)
 	if err != nil {
 		return nil, err
 	}
-	rcnRes, err := Sweep(rcnSc, pulses)
+	rcnRes, err := o.sweep(rcnSc, pulses)
 	if err != nil {
 		return nil, err
 	}
 	// t_up for the intended curve.
 	plainSc.Pulses = 1
-	plain, err := Run(plainSc)
+	plain, err := o.run(plainSc)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func FlapIntervalSweep(o Options, intervals []time.Duration, pulses int) ([]Inte
 		}
 		sc.Pulses = pulses
 		sc.FlapInterval = iv
-		res, err := Run(sc)
+		res, err := o.run(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: interval %v: %w", iv, err)
 		}
@@ -242,7 +242,7 @@ func TopologySizeSweep(o Options, sides []int, pulses int) ([]SizeRow, error) {
 			return nil, err
 		}
 		sc.Pulses = pulses
-		res, err := Run(sc)
+		res, err := o.run(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %dx%d mesh: %w", side, side, err)
 		}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"rfd/analytic"
@@ -27,6 +28,13 @@ type Options struct {
 	FlapInterval time.Duration
 	// Seed drives topology generation and protocol randomness.
 	Seed uint64
+	// Workers bounds the number of concurrent runs in sweeps
+	// (runtime.NumCPU() when 0).
+	Workers int
+	// Cache, when non-nil, dedupes identical runs across figures: scenarios
+	// shared between figures (the undamped mesh baseline, the damped sweeps)
+	// execute once and are served from cache afterwards.
+	Cache *RunCache
 }
 
 // DefaultOptions returns the paper-scale settings.
@@ -40,6 +48,30 @@ func DefaultOptions() Options {
 		FlapInterval:  DefaultFlapInterval,
 		Seed:          1,
 	}
+}
+
+// workers resolves the worker bound.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// sweep runs a pulse sweep honoring the options' worker bound and run cache.
+func (o Options) sweep(base Scenario, pulses []int) ([]SweepPoint, error) {
+	if o.Cache != nil {
+		return o.Cache.Sweep(base, pulses, o.workers())
+	}
+	return SweepParallel(base, pulses, o.workers())
+}
+
+// run executes one scenario through the options' run cache when set.
+func (o Options) run(sc Scenario) (*Result, error) {
+	if o.Cache != nil {
+		return o.Cache.Run(sc)
+	}
+	return Run(sc)
 }
 
 // baseConfig returns the protocol configuration shared by all runs.
@@ -206,7 +238,7 @@ func Fig7(o Options) (*Fig7Data, error) {
 		}
 	}
 	sc.Pulses = 1
-	res, err := Run(sc)
+	res, err := o.run(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +246,13 @@ func Fig7(o Options) (*Fig7Data, error) {
 	best := &Fig7Data{Cutoff: params.CutoffThreshold, Reuse: params.ReuseThreshold, Result: res}
 	bestScore := -1
 	var bestJumps []metrics.FloatPoint
-	for w, tr := range res.PenaltyTraces {
+	// Iterate in sc.Watch order, not map order: score ties must break
+	// deterministically (the report names the winning pair).
+	for _, w := range sc.Watch {
+		tr, ok := res.PenaltyTraces[w]
+		if !ok {
+			continue
+		}
 		pts := tr.Points()
 		if len(pts) == 0 {
 			continue
@@ -241,9 +279,10 @@ func Fig7(o Options) (*Fig7Data, error) {
 		}
 	}
 	if bestJumps == nil {
-		// Fall back to the longest trace (tiny test topologies).
-		for w, tr := range res.PenaltyTraces {
-			if tr.Len() > len(bestJumps) {
+		// Fall back to the longest trace (tiny test topologies), again in
+		// deterministic sc.Watch order.
+		for _, w := range sc.Watch {
+			if tr, ok := res.PenaltyTraces[w]; ok && tr.Len() > len(bestJumps) {
 				best.Watched = w
 				bestJumps = tr.Points()
 			}
@@ -337,19 +376,19 @@ func Eval(o Options) (*EvalData, error) {
 		return nil, err
 	}
 
-	plain, err := Sweep(meshPlain, pulses)
+	plain, err := o.sweep(meshPlain, pulses)
 	if err != nil {
 		return nil, err
 	}
-	damp, err := Sweep(meshDamp, pulses)
+	damp, err := o.sweep(meshDamp, pulses)
 	if err != nil {
 		return nil, err
 	}
-	rcnRes, err := Sweep(meshRCN, pulses)
+	rcnRes, err := o.sweep(meshRCN, pulses)
 	if err != nil {
 		return nil, err
 	}
-	inet, err := Sweep(inetDamp, pulses)
+	inet, err := o.sweep(inetDamp, pulses)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +486,7 @@ func Fig10(o Options) (*Fig10Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := Sweep(sc, []int{1, 3, 5})
+	points, err := o.sweep(sc, []int{1, 3, 5})
 	if err != nil {
 		return nil, err
 	}
@@ -491,11 +530,11 @@ func Fig15(o Options) (*Fig15Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	polRes, err := Sweep(withPolicy, pulses)
+	polRes, err := o.sweep(withPolicy, pulses)
 	if err != nil {
 		return nil, err
 	}
-	plainRes, err := Sweep(noPolicy, pulses)
+	plainRes, err := o.sweep(noPolicy, pulses)
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +544,7 @@ func Fig15(o Options) (*Fig15Data, error) {
 	undamped.Config = o.baseConfig()
 	undamped.Config.Policy = bgp.NoValley
 	undamped.Pulses = 1
-	plain1, err := Run(undamped)
+	plain1, err := o.run(undamped)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Fingerprint returns a canonical content hash of everything that determines
+// the scenario's Result: the topology (canonical sorted-edge encoding,
+// including relationship annotations), the ISP attachment point, every
+// protocol configuration scalar, the pulse workload and the seed. Two
+// scenarios with equal fingerprints produce byte-identical runs, so a cached
+// Result can stand in for a re-run.
+//
+// ok is false when the scenario's identity cannot be captured by value:
+// a per-router damping selector (a function), an attached trace log, an
+// impairment model, a fault plan or a watchdog all make the run depend on
+// state outside the hashed fields. Such scenarios are never cached.
+func (s Scenario) Fingerprint() (key string, ok bool) {
+	base, ok := s.fingerprintBase()
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s:p%d", base, s.Pulses), true
+}
+
+// fingerprintBase hashes every run-determining input except the pulse count,
+// so a sweep hashes the expensive part (the topology) once per scenario
+// rather than once per point.
+func (s Scenario) fingerprintBase() (string, bool) {
+	if s.Config.DampingSelect != nil || s.Trace != nil || s.Impair != nil ||
+		s.Faults != nil || s.Watchdog != nil {
+		return "", false
+	}
+	if s.Graph == nil {
+		return "", false
+	}
+	h := sha256.New()
+	if err := s.Graph.WriteTSV(h); err != nil {
+		return "", false
+	}
+	interval := s.FlapInterval
+	if interval == 0 {
+		interval = DefaultFlapInterval
+	}
+	cfg := s.Config
+	fmt.Fprintf(h, "isp %d\ninterval %d\nvialink %t\npolicy %d\nrcn %t\nselective %t\nhistsize %d\nmrai %d\nmraijitter %t\nlink %d %d\nproc %d %d\nseed %d\n",
+		s.ISP, interval, s.FlapViaLink, cfg.Policy, cfg.EnableRCN,
+		cfg.SelectiveDamping, cfg.RCNHistorySize, cfg.MRAI, cfg.MRAIJitter,
+		cfg.MinLinkDelay, cfg.MaxLinkDelay, cfg.MinProcDelay, cfg.MaxProcDelay,
+		cfg.Seed)
+	if d := cfg.Damping; d != nil {
+		fmt.Fprintf(h, "damping %g %g %g %g %g %d %d\n",
+			d.WithdrawalPenalty, d.ReannouncementPenalty, d.AttrChangePenalty,
+			d.CutoffThreshold, d.ReuseThreshold, d.HalfLife, d.MaxHoldDown)
+	}
+	for _, w := range s.Watch {
+		fmt.Fprintf(h, "watch %d %d\n", w.Router, w.Peer)
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// cacheEntry is one singleflight slot: the claimant runs the scenario and
+// closes done; everyone else waits on done and reads res/err.
+type cacheEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// RunCache deduplicates runs by scenario fingerprint: the first request for
+// a fingerprint executes it, concurrent requests for the same fingerprint
+// wait for that execution (singleflight), and later requests return the
+// cached Result immediately. rfdfig uses one cache across all figures, which
+// share scenarios (e.g. the undamped mesh baseline appears in the Eval sweep
+// and as Fig 10/15 inputs).
+//
+// Cached Results are shared between callers and must be treated as
+// read-only. Scenarios whose Fingerprint reports ok=false (trace logs,
+// impairments, fault plans, watchdogs, damping selectors) bypass the cache
+// and always run. A nil *RunCache is valid and bypasses caching entirely.
+type RunCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits, misses, uncached uint64
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache {
+	return &RunCache{entries: make(map[string]*cacheEntry)}
+}
+
+// Stats reports how many Run/Sweep points were served from cache (hits),
+// executed and stored (misses), and executed uncached because the scenario
+// has no fingerprint (uncacheable).
+func (c *RunCache) Stats() (hits, misses, uncacheable uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.uncached
+}
+
+// claim returns the entry for key and whether this caller owns its
+// execution (true exactly once per key).
+func (c *RunCache) claim(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, found := c.entries[key]; found {
+		c.hits++
+		return e, false
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	return e, true
+}
+
+// Run executes the scenario through the cache: a fingerprint hit returns the
+// cached (shared, read-only) Result, a miss runs and stores it, and
+// unfingerprintable scenarios fall through to a plain Run.
+func (c *RunCache) Run(sc Scenario) (*Result, error) {
+	key, ok := sc.Fingerprint()
+	if c == nil || !ok {
+		if c != nil {
+			c.mu.Lock()
+			c.uncached++
+			c.mu.Unlock()
+		}
+		return Run(sc)
+	}
+	e, owner := c.claim(key)
+	if !owner {
+		<-e.done
+		return e.res, e.err
+	}
+	e.res, e.err = Run(sc)
+	close(e.done)
+	return e.res, e.err
+}
+
+// Sweep is SweepParallel through the cache: points whose fingerprint is
+// already cached (or claimed by a concurrent caller) are not re-run; only
+// the missing pulse counts execute, as one fork-amortized parallel sweep.
+// Unfingerprintable scenarios fall through to a plain SweepParallel.
+func (c *RunCache) Sweep(base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
+	if c == nil {
+		return SweepParallel(base, pulses, workers)
+	}
+	baseKey, ok := base.fingerprintBase()
+	if !ok {
+		c.mu.Lock()
+		c.uncached += uint64(len(pulses))
+		c.mu.Unlock()
+		return SweepParallel(base, pulses, workers)
+	}
+	entries := make([]*cacheEntry, len(pulses))
+	var missPulses []int
+	var missEntries []*cacheEntry
+	for i, n := range pulses {
+		e, owner := c.claim(fmt.Sprintf("%s:p%d", baseKey, n))
+		entries[i] = e
+		if owner {
+			missPulses = append(missPulses, n)
+			missEntries = append(missEntries, e)
+		}
+	}
+	if len(missPulses) > 0 {
+		pts, err := SweepParallel(base, missPulses, workers)
+		if err != nil {
+			// Fill every claimed entry so concurrent waiters unblock instead
+			// of deadlocking on a result that will never arrive.
+			for _, e := range missEntries {
+				e.err = err
+				close(e.done)
+			}
+			return nil, err
+		}
+		for j, e := range missEntries {
+			e.res = pts[j].Result
+			close(e.done)
+		}
+	}
+	out := make([]SweepPoint, len(pulses))
+	var errs []error
+	for i, e := range entries {
+		<-e.done
+		if e.err != nil {
+			errs = append(errs, fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], e.err))
+			continue
+		}
+		out[i] = SweepPoint{Pulses: pulses[i], Result: e.res}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -166,41 +166,62 @@ type Result struct {
 // Run executes the scenario and returns its measurements. The run is a pure
 // function of the scenario (deterministic).
 func Run(sc Scenario) (*Result, error) {
-	if err := sc.validate(); err != nil {
+	n, origin, err := converge(sc)
+	if err != nil {
 		return nil, err
 	}
-	interval := sc.FlapInterval
-	if interval == 0 {
-		interval = DefaultFlapInterval
+	return measure(sc, n, origin)
+}
+
+// converge validates the scenario and executes its warm-up phase: build the
+// run topology (base graph + originAS attached to the ispAS), originate the
+// flap prefix and drain the kernel until every node has learned a stable
+// route, then wipe damping state and counters (Section 5.1: "Before the
+// simulation starts, every node learns a stable route to the originAS").
+// The returned network is quiescent and ready for measure — or for a
+// bgp.Snapshot, which is how sweeps amortize this phase across pulse counts.
+func converge(sc Scenario) (*bgp.Network, bgp.RouterID, error) {
+	if err := sc.validate(); err != nil {
+		return nil, 0, err
 	}
 
 	// Build the run topology: base graph + originAS attached to the ispAS.
 	g := sc.Graph.Clone()
 	origin := g.AddNode()
 	if err := g.AddEdge(origin, sc.ISP); err != nil {
-		return nil, fmt.Errorf("experiment: attach origin: %w", err)
+		return nil, 0, fmt.Errorf("experiment: attach origin: %w", err)
 	}
 	if g.Annotated() {
 		if err := g.SetRelationship(origin, sc.ISP, topology.RelProvider); err != nil {
-			return nil, fmt.Errorf("experiment: annotate origin link: %w", err)
+			return nil, 0, fmt.Errorf("experiment: annotate origin link: %w", err)
 		}
 	}
 
 	k := sim.NewKernel(sim.WithSeed(sc.Config.Seed))
 	n, err := bgp.NewNetwork(k, g, sc.Config)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
-	// Warm-up: let every node learn a stable route, then wipe damping state
-	// and counters (Section 5.1: "Before the simulation starts, every node
-	// learns a stable route to the originAS").
 	n.Router(origin).Originate(FlapPrefix)
 	if err := k.Run(); err != nil {
-		return nil, fmt.Errorf("experiment: warm-up: %w", err)
+		return nil, 0, fmt.Errorf("experiment: warm-up: %w", err)
 	}
 	n.ResetDamping()
 	n.ResetCounters()
+	return n, origin, nil
+}
+
+// measure executes the scenario's flap phase and drain on a converged
+// network (fresh from converge, or a fork of a converged checkpoint) and
+// computes the Result. It installs the measurement hooks, brings the fault
+// apparatus alive at the epoch, runs the pulse workload and drains.
+func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) {
+	k := n.Kernel()
+	interval := sc.FlapInterval
+	if interval == 0 {
+		interval = DefaultFlapInterval
+	}
 
 	res := &Result{
 		Pulses:             sc.Pulses,
@@ -348,6 +369,47 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, fmt.Errorf("experiment: post-run consistency: %w", err)
 	}
 	return res, nil
+}
+
+// Checkpoint is a scenario's converged warm-up state, parked as a network
+// snapshot. Building one costs a single warm-up; Run then forks the
+// checkpoint per measurement instead of re-converging from scratch, which is
+// how sweeps amortize warm-up across pulse counts. A Checkpoint is safe for
+// concurrent Run calls — each call forks its own independent copy.
+type Checkpoint struct {
+	snap   *bgp.Snapshot
+	origin bgp.RouterID
+}
+
+// NewCheckpoint executes the scenario's warm-up once (exactly as Run would)
+// and parks the converged state. Only the warm-up inputs matter here — the
+// graph, ISP and Config; measurement-phase fields (Pulses, FlapInterval,
+// Watch, Trace, Impair, Faults, Watchdog) take effect in Checkpoint.Run.
+func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
+	n, origin, err := converge(sc)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := n.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return &Checkpoint{snap: snap, origin: origin}, nil
+}
+
+// Run forks the converged checkpoint and measures the scenario's flap phase
+// on the fork, producing a Result identical to Run(sc) from scratch. sc must
+// describe the same warm-up the checkpoint was built from (same Graph, ISP
+// and Config); only the measurement-phase fields may differ between calls.
+func (c *Checkpoint) Run(sc Scenario) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	_, n, err := c.snap.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint fork: %w", err)
+	}
+	return measure(sc, n, c.origin)
 }
 
 // ConvergenceSpread summarizes how long after the final announcement each

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,47 +13,70 @@ type SweepPoint struct {
 	Result *Result
 }
 
-// Sweep runs the scenario once per entry in pulses, in parallel (each run
-// owns its own kernel and cloned topology, so runs are independent and the
-// output is deterministic regardless of scheduling). Results are returned in
-// the order of the pulses slice. The first run error aborts the sweep.
+// Sweep runs the scenario once per entry in pulses, in parallel with one
+// worker per CPU. See SweepParallel for the execution model.
 func Sweep(base Scenario, pulses []int) ([]SweepPoint, error) {
 	return SweepParallel(base, pulses, runtime.NumCPU())
 }
 
 // SweepParallel is Sweep with an explicit worker bound (minimum 1).
+//
+// The scenario's warm-up — identical for every pulse count, and the dominant
+// cost of small runs — executes exactly once: the converged state is parked
+// as a Checkpoint and every pulse point forks it. Runs are independent (each
+// fork owns its kernel and state), so results are deterministic regardless
+// of scheduling and identical to from-scratch Run calls for each point;
+// results are returned in the order of the pulses slice. A fixed pool of
+// `workers` goroutines drains the points, so at most that many runs are in
+// flight at once. If points fail, all their errors are returned joined.
+//
+// A scenario-level Impair model is forked per point — every point sees the
+// impairment stream from its warm-up-end position, exactly as a standalone
+// Run would, and no mutable RNG state is shared between workers.
 func SweepParallel(base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
+	if len(pulses) == 0 {
+		return nil, nil
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > len(pulses) {
 		workers = len(pulses)
 	}
+	cp, err := NewCheckpoint(base)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]SweepPoint, len(pulses))
 	errs := make([]error, len(pulses))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, n := range pulses {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i, n int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sc := base
-			sc.Pulses = n
-			res, err := Run(sc)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiment: sweep n=%d: %w", n, err)
-				return
+			for i := range jobs {
+				sc := base
+				sc.Pulses = pulses[i]
+				if sc.Impair != nil {
+					sc.Impair = sc.Impair.Fork()
+				}
+				res, err := cp.Run(sc)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], err)
+					continue
+				}
+				out[i] = SweepPoint{Pulses: pulses[i], Result: res}
 			}
-			out[i] = SweepPoint{Pulses: n, Result: res}
-		}(i, n)
+		}()
 	}
+	for i := range pulses {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

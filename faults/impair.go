@@ -101,6 +101,27 @@ func (im *Impairments) AddWindow(start, end time.Duration, rate float64, from, t
 // Drops returns the number of messages this model has dropped.
 func (im *Impairments) Drops() uint64 { return im.drops }
 
+// Fork returns an independent copy at the same deterministic stream position:
+// profiles, windows, drop count and the exact RNG state. The copy and the
+// original consume their streams independently, so each fork of a network
+// snapshot reproduces the impairment decisions a from-scratch run would make.
+func (im *Impairments) Fork() *Impairments {
+	c := &Impairments{
+		rng:     im.rng.Clone(),
+		def:     im.def,
+		perDir:  make(map[dirKey]Profile, len(im.perDir)),
+		windows: append([]window(nil), im.windows...),
+		drops:   im.drops,
+	}
+	for k, v := range im.perDir {
+		c.perDir[k] = v
+	}
+	return c
+}
+
+// ForkImpairment implements bgp.ImpairmentForker.
+func (im *Impairments) ForkImpairment() bgp.LinkImpairment { return im.Fork() }
+
 // Impair implements bgp.LinkImpairment.
 func (im *Impairments) Impair(at time.Duration, from, to bgp.RouterID) (bool, time.Duration) {
 	p, ok := im.perDir[dirKey{from, to}]

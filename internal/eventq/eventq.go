@@ -135,6 +135,36 @@ func (q *Queue[P]) When(h Handle) (time.Duration, bool) {
 	return s.time, true
 }
 
+// Clone returns a deep copy of the queue. The copy is independently mutable,
+// and — because slot indices, generations and sequence numbers are preserved
+// exactly — a Handle obtained from the original resolves to the corresponding
+// entry in the clone. Payloads are copied by assignment; payloads containing
+// pointers share referents with the original, which the caller must remap if
+// the referents are themselves copied (see sim.Kernel.RemapHandlers).
+func (q *Queue[P]) Clone() *Queue[P] {
+	c := &Queue[P]{nextSeq: q.nextSeq}
+	if q.slots != nil {
+		c.slots = append(make([]slot[P], 0, len(q.slots)), q.slots...)
+	}
+	if q.heap != nil {
+		c.heap = append(make([]int32, 0, len(q.heap)), q.heap...)
+	}
+	if q.free != nil {
+		c.free = append(make([]int32, 0, len(q.free)), q.free...)
+	}
+	return c
+}
+
+// ForEach calls f for every pending entry, passing a pointer to its payload
+// so f may mutate it in place. Iteration order is heap order, not fire order;
+// f must not add or remove entries.
+func (q *Queue[P]) ForEach(f func(at time.Duration, payload *P)) {
+	for _, idx := range q.heap {
+		s := &q.slots[idx]
+		f(s.time, &s.payload)
+	}
+}
+
 // lookup resolves a handle to its live slot, nil when stale or invalid.
 func (q *Queue[P]) lookup(h Handle) *slot[P] {
 	if h.gen == 0 || int(h.idx) >= len(q.slots) {

@@ -116,6 +116,24 @@ func (h *History) Contains(c Cause) bool {
 	return ok
 }
 
+// Clone returns an independent copy of the history: same capacity, same
+// remembered causes, same eviction order, sharing no storage with the
+// original. Used by the simulator's network fork.
+func (h *History) Clone() *History {
+	c := &History{
+		capacity: h.capacity,
+		seen:     make(map[Cause]struct{}, len(h.seen)),
+		head:     h.head,
+	}
+	for cause := range h.seen {
+		c.seen[cause] = struct{}{}
+	}
+	if h.order != nil {
+		c.order = append(make([]Cause, 0, len(h.order)), h.order...)
+	}
+	return c
+}
+
 // Witness records the cause and reports whether it was NEW — i.e. whether an
 // RCN-enhanced damping implementation should apply a penalty increment for
 // the update carrying it (Section 6.2: "If the root cause is already present

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"rfd/internal/eventq"
+	"rfd/internal/xrand"
+)
+
+// ErrClosureEvent is returned by RemapHandlers (and therefore by anything
+// forking a kernel with pending closure events, such as bgp.Network.Snapshot)
+// when the queue holds an event scheduled with At/After. Closures capture
+// arbitrary state the kernel cannot rewrite, so a fork taken while one is
+// pending would silently keep mutating the original simulation. Schedule
+// closure-based work (fault plans, orchestration) after forking instead.
+var ErrClosureEvent = errors.New("sim: pending closure event cannot be remapped across a fork")
+
+// Snapshot is a checkpoint of a kernel: the full event queue (typed handler
+// events and timers, with slot indices and generations preserved so
+// outstanding Timer handles resolve identically in a restored or forked
+// kernel), the virtual clock, the RNG stream position and the executed-event
+// count. A Snapshot is immutable once taken; NewKernel materializes any
+// number of independent kernels from it, and Restore rewinds a kernel to it
+// in place. Trace observers are deliberately not captured — they are
+// measurement apparatus, not simulation state.
+type Snapshot struct {
+	q         *eventq.Queue[event]
+	now       time.Duration
+	rng       [4]uint64
+	executed  uint64
+	maxEvents uint64
+}
+
+// Now returns the virtual time the snapshot was taken at.
+func (s *Snapshot) Now() time.Duration { return s.now }
+
+// Pending returns the number of scheduled events captured in the snapshot.
+func (s *Snapshot) Pending() int { return s.q.Len() }
+
+// Snapshot captures the kernel's current state. The kernel is unaffected and
+// may continue running; the snapshot does not alias its queue.
+func (k *Kernel) Snapshot() *Snapshot {
+	return &Snapshot{
+		q:         k.q.Clone(),
+		now:       k.now,
+		rng:       k.rng.State(),
+		executed:  k.executed,
+		maxEvents: k.maxEvents,
+	}
+}
+
+// Restore rewinds the kernel to a previously taken snapshot: queue, clock,
+// RNG position and executed count all return to their captured values. The
+// kernel's RNG keeps its identity (components holding the *xrand.Rand from
+// Rand() see the restored stream), and Timer handles that were valid at
+// snapshot time become valid again. The trace observer is left as is.
+func (k *Kernel) Restore(s *Snapshot) {
+	k.q = *s.q.Clone()
+	k.now = s.now
+	k.rng.SetState(s.rng)
+	k.executed = s.executed
+	k.maxEvents = s.maxEvents
+}
+
+// NewKernel materializes a fresh, independent kernel from the snapshot. The
+// snapshot may be used any number of times; every kernel it produces starts
+// from the identical state and, given identical subsequent scheduling,
+// produces the identical event sequence. No trace observer is installed.
+func (s *Snapshot) NewKernel() *Kernel {
+	return &Kernel{
+		q:         *s.q.Clone(),
+		now:       s.now,
+		rng:       xrand.FromState(s.rng),
+		executed:  s.executed,
+		maxEvents: s.maxEvents,
+	}
+}
+
+// Fork returns an independent copy of the kernel at its current state,
+// equivalent to s := k.Snapshot(); s.NewKernel() but with a single copy.
+// The fork shares no mutable state with the original; pending handler events
+// still reference the original's Handler values until RemapHandlers rebinds
+// them. No trace observer is installed on the fork.
+func (k *Kernel) Fork() *Kernel {
+	return &Kernel{
+		q:         *k.q.Clone(),
+		now:       k.now,
+		rng:       xrand.FromState(k.rng.State()),
+		executed:  k.executed,
+		maxEvents: k.maxEvents,
+	}
+}
+
+// RemapHandlers rewrites the Handler of every pending typed event through f,
+// which must return the replacement handler (typically the corresponding
+// field of a forked component). It is the second half of forking a kernel
+// whose pending events point into component state: Fork copies the queue,
+// RemapHandlers rebinds it. The packed args are preserved. It returns
+// ErrClosureEvent if any pending event was scheduled with At/After, since a
+// closure cannot be rebound; f itself is not called for such events.
+func (k *Kernel) RemapHandlers(f func(Handler) Handler) error {
+	var err error
+	k.q.ForEach(func(_ time.Duration, ev *event) {
+		if err != nil {
+			return
+		}
+		if ev.h == nil {
+			err = ErrClosureEvent
+			return
+		}
+		ev.h = f(ev.h)
+		if ev.h == nil {
+			err = errors.New("sim: RemapHandlers returned nil handler for " + ev.name)
+		}
+	})
+	return err
+}
+
+// Adopt rebinds a Timer taken out against another kernel to this one. Because
+// queue clones preserve slot indices and generations, a Timer captured before
+// a Snapshot/Fork refers to the same logical entry in the copy; Adopt makes
+// the handle operate on the copy instead of the original. The zero Timer
+// adopts to the zero Timer.
+func (k *Kernel) Adopt(t Timer) Timer {
+	if t.k == nil {
+		return Timer{}
+	}
+	return Timer{k: k, h: t.h}
+}

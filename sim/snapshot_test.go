@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// recorder is a Handler that appends "<now> <arg>" lines, optionally
+// rescheduling itself to keep a self-perpetuating event stream going.
+type recorder struct {
+	k     *Kernel
+	lines []string
+	chain int // how many more times each event reschedules itself
+}
+
+func (r *recorder) HandleEvent(arg uint64) {
+	r.lines = append(r.lines, fmt.Sprintf("%d %d %d", r.k.now, arg, r.k.rng.Uint64()))
+	if r.chain > 0 {
+		r.chain--
+		r.k.AfterHandler(time.Duration(1+r.k.rng.Uint64()%1000), "chain", r, arg+1)
+	}
+}
+
+// seedKernel builds a kernel with a mix of pending handler events and an
+// outstanding timer, advanced partway so the snapshot is taken mid-run.
+func seedKernel(t *testing.T) (*Kernel, *recorder, Timer) {
+	t.Helper()
+	k := NewKernel(WithSeed(7))
+	r := &recorder{k: k, chain: 8}
+	k.AtHandler(10, "a", r, 1)
+	k.AtHandler(20, "b", r, 2)
+	timer := k.AtHandler(50_000, "late", r, 99)
+	for i := 0; i < 3; i++ {
+		if !k.Step() {
+			t.Fatal("queue drained during seeding")
+		}
+	}
+	return k, r, timer
+}
+
+func drain(t *testing.T, k *Kernel) {
+	t.Helper()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	k, r, _ := seedKernel(t)
+	snap := k.Snapshot()
+	if snap.Now() != k.Now() {
+		t.Fatalf("snapshot Now %v != kernel Now %v", snap.Now(), k.Now())
+	}
+	if snap.Pending() != k.Pending() {
+		t.Fatalf("snapshot Pending %d != kernel Pending %d", snap.Pending(), k.Pending())
+	}
+
+	prefix := len(r.lines)
+	chainAt := r.chain
+	drain(t, k)
+	first := append([]string(nil), r.lines[prefix:]...)
+	endNow, endExec := k.Now(), k.Executed()
+
+	// Rewind and replay: the same events must fire at the same times with the
+	// same RNG draws.
+	k.Restore(snap)
+	if k.Now() != snap.Now() {
+		t.Fatalf("restored Now %v != snapshot Now %v", k.Now(), snap.Now())
+	}
+	r.lines = r.lines[:prefix]
+	r.chain = chainAt
+	drain(t, k)
+	second := r.lines[prefix:]
+
+	if len(first) != len(second) {
+		t.Fatalf("replay produced %d events, first run %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at event %d: %q vs %q", i, second[i], first[i])
+		}
+	}
+	if k.Now() != endNow || k.Executed() != endExec {
+		t.Fatalf("replay ended at now=%v executed=%d, first run now=%v executed=%d",
+			k.Now(), k.Executed(), endNow, endExec)
+	}
+}
+
+func TestSnapshotIsIsolatedFromKernel(t *testing.T) {
+	k, _, _ := seedKernel(t)
+	snap := k.Snapshot()
+	pending := snap.Pending()
+	drain(t, k) // mutates the kernel's queue heavily
+	if snap.Pending() != pending {
+		t.Fatalf("snapshot Pending changed from %d to %d after kernel ran", pending, snap.Pending())
+	}
+	// A kernel materialized from the snapshot still replays from the capture
+	// point even though the source kernel has long since drained.
+	k2 := snap.NewKernel()
+	if k2.Now() != snap.Now() || k2.Pending() != pending {
+		t.Fatalf("NewKernel state now=%v pending=%d, want now=%v pending=%d",
+			k2.Now(), k2.Pending(), snap.Now(), pending)
+	}
+}
+
+func TestForkAndRemapReplaysIdentically(t *testing.T) {
+	k, r, _ := seedKernel(t)
+	fork := k.Fork()
+	r2 := &recorder{k: fork, chain: r.chain}
+	if err := fork.RemapHandlers(func(h Handler) Handler {
+		if h != Handler(r) {
+			t.Fatalf("unexpected handler %v in queue", h)
+		}
+		return r2
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	prefix := len(r.lines)
+	drain(t, k)
+	drain(t, fork)
+	orig := r.lines[prefix:]
+	if len(orig) != len(r2.lines) {
+		t.Fatalf("fork produced %d events, original %d", len(r2.lines), len(orig))
+	}
+	for i := range orig {
+		if orig[i] != r2.lines[i] {
+			t.Fatalf("fork diverged at event %d: %q vs %q", i, r2.lines[i], orig[i])
+		}
+	}
+}
+
+func TestRemapHandlersRejectsClosures(t *testing.T) {
+	k := NewKernel()
+	k.At(10, "closure", func() {})
+	fork := k.Fork()
+	err := fork.RemapHandlers(func(h Handler) Handler { return h })
+	if !errors.Is(err, ErrClosureEvent) {
+		t.Fatalf("RemapHandlers error = %v, want ErrClosureEvent", err)
+	}
+}
+
+func TestRemapHandlersRejectsNilReplacement(t *testing.T) {
+	k, _, _ := seedKernel(t)
+	fork := k.Fork()
+	if err := fork.RemapHandlers(func(Handler) Handler { return nil }); err == nil {
+		t.Fatal("RemapHandlers accepted a nil replacement handler")
+	}
+}
+
+func TestAdoptRebindsTimerToFork(t *testing.T) {
+	k, _, timer := seedKernel(t)
+	fork := k.Fork()
+	adopted := fork.Adopt(timer)
+
+	if !timer.Active() || !adopted.Active() {
+		t.Fatal("timer should be pending in both kernels")
+	}
+	if timer.When() != adopted.When() {
+		t.Fatalf("adopted When %v != original When %v", adopted.When(), timer.When())
+	}
+	// Cancelling the adopted handle must only affect the fork.
+	if !adopted.Cancel() {
+		t.Fatal("adopted Cancel reported not pending")
+	}
+	if adopted.Active() {
+		t.Fatal("adopted timer still active after Cancel")
+	}
+	if !timer.Active() {
+		t.Fatal("cancelling the fork's timer cancelled the original's")
+	}
+
+	var zero Timer
+	if got := fork.Adopt(zero); got.Active() || got.When() != Never {
+		t.Fatal("adopting the zero Timer should yield an inert zero Timer")
+	}
+}
+
+func TestForkRNGIndependent(t *testing.T) {
+	k := NewKernel(WithSeed(3))
+	k.Rand().Uint64()
+	fork := k.Fork()
+	// Same position: next draw matches…
+	a, b := k.Rand().Uint64(), fork.Rand().Uint64()
+	if a != b {
+		t.Fatalf("fork RNG diverged immediately: %d vs %d", a, b)
+	}
+	// …but streams are independent: advancing one does not move the other.
+	k.Rand().Uint64()
+	c, d := k.Rand().Uint64(), fork.Rand().Uint64()
+	if c == d {
+		t.Fatal("fork RNG appears to share state with the original")
+	}
+}
