@@ -1,0 +1,72 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"rfd/rcn"
+)
+
+// DropReason classifies why the engine discarded a message after it was sent.
+type DropReason int
+
+const (
+	// DropImpairment: the impairment model lost the message at send time.
+	DropImpairment DropReason = iota + 1
+	// DropSevered: the message was in flight when its session died (link
+	// failure, session reset, or a crash of either endpoint) and was
+	// discarded on arrival — possibly after the session re-established.
+	DropSevered
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropImpairment:
+		return "impairment"
+	case DropSevered:
+		return "severed"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// DebugHooks are verification-oriented observation points, separate from the
+// metrics Hooks so a checker and an experiment can observe the same run
+// without fighting over one hook set. Nil fields are not called; installed
+// functions must not mutate the network. Unlike Hooks, these fire on the
+// engine's internal paths too — OnUpdate sees the withdrawals a session
+// failure synthesizes, which never appear as delivered messages.
+//
+// Conservation contract: OnSend fires for every message a router hands to an
+// established session, before the impairment decision. Each such message then
+// triggers exactly one of OnDeliver or OnDrop, so at any instant
+//
+//	sent == delivered + dropped + in-flight
+//
+// holds per directed link. Messages a router tries to send while no session
+// is established are silently discarded by the engine and fire no hook (the
+// engine's reconcile paths never do this; the branch is defensive).
+type DebugHooks struct {
+	// OnSend fires when a message enters an established session.
+	OnSend func(at time.Duration, msg Message)
+	// OnDeliver fires when a message reaches its receiver, before the
+	// receiver processes it (same instant as Hooks.OnDeliver).
+	OnDeliver func(at time.Duration, msg Message)
+	// OnDrop fires when a sent message is discarded instead of delivered.
+	OnDrop func(at time.Duration, msg Message, reason DropReason)
+	// OnUpdate fires at the top of a router's RIB-IN/damping mutation for
+	// one update — delivered from the peer or synthesized by a session
+	// failure — before any state changes. It is the single point where every
+	// damping charge in the engine can be observed, which is what the
+	// differential oracle in package check replays.
+	OnUpdate func(at time.Duration, router, peer RouterID, prefix Prefix, withdraw bool, path Path, cause rcn.Cause)
+}
+
+// SetDebugHooks installs the debug hook set (replacing any previous one).
+// Checkers that want to chain should save DebugHooks first and call the
+// saved functions from their own.
+func (n *Network) SetDebugHooks(h DebugHooks) { n.debugHooks = h }
+
+// DebugHooks returns the currently installed debug hook set (zero when none).
+func (n *Network) DebugHooks() DebugHooks { return n.debugHooks }

@@ -115,6 +115,9 @@ type Network struct {
 	deliverH deliverHandler
 
 	hooks Hooks
+	// debugHooks are the verification observation points (package check);
+	// separate from hooks so a checker never displaces the metrics layer.
+	debugHooks DebugHooks
 
 	// delivered counts update messages delivered since the last ResetCounters.
 	delivered uint64
@@ -475,11 +478,17 @@ func (n *Network) send(msg Message) {
 	if !n.SessionUp(msg.From, msg.To) {
 		return
 	}
+	if n.debugHooks.OnSend != nil {
+		n.debugHooks.OnSend(n.kernel.Now(), msg)
+	}
 	var extra time.Duration
 	if n.impair != nil {
 		drop, jitter := n.impair.Impair(n.kernel.Now(), msg.From, msg.To)
 		if drop {
 			n.dropped++
+			if n.debugHooks.OnDrop != nil {
+				n.debugHooks.OnDrop(n.kernel.Now(), msg, DropImpairment)
+			}
 			return
 		}
 		if jitter < 0 {
@@ -508,12 +517,18 @@ func (n *Network) deliver(msg Message, gen uint64) {
 	n.pendingDeliveries--
 	if n.sessionGen[n.linkIdx(msg.From, msg.To)] != gen || !n.SessionUp(msg.From, msg.To) {
 		n.dropped++
+		if n.debugHooks.OnDrop != nil {
+			n.debugHooks.OnDrop(n.kernel.Now(), msg, DropSevered)
+		}
 		return
 	}
 	n.delivered++
 	n.lastDelivery = n.kernel.Now()
 	if n.hooks.OnDeliver != nil {
 		n.hooks.OnDeliver(n.kernel.Now(), msg)
+	}
+	if n.debugHooks.OnDeliver != nil {
+		n.debugHooks.OnDeliver(n.kernel.Now(), msg)
 	}
 	n.routers[msg.To].receive(msg)
 }

@@ -344,6 +344,9 @@ func (r *Router) receive(msg Message) {
 // interned (or nil): it is stored without copying.
 func (r *Router) applyUpdate(slot int32, from RouterID, pid int32, withdraw bool, path Path, cause rcn.Cause) {
 	now := r.net.kernel.Now()
+	if h := r.net.debugHooks.OnUpdate; h != nil {
+		h(now, r.id, from, r.net.prefixes[pid], withdraw, path, cause)
+	}
 	e := r.ensureRibIn(slot, pid)
 
 	present := e.path != nil

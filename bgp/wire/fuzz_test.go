@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rfd/rcn"
+)
+
+// FuzzUpdateRoundTrip checks the codec's fixed point: any UPDATE the decoder
+// accepts and the encoder can re-emit must re-encode byte-identically after a
+// second decode. The decoder is deliberately more liberal than the encoder
+// (extended-length attributes, out-of-range ORIGIN values, oversized AS
+// paths), so a Marshal error on a decoded update is fine — but instability
+// of the encoded form is not. Malformed input must error, never panic.
+func FuzzUpdateRoundTrip(f *testing.F) {
+	seeds := []*Update{
+		{NLRI: []Prefix{{Addr: [4]byte{10, 1, 0, 0}, Length: 16}},
+			Origin: OriginIGP, ASPath: []uint16{3, 2, 1}, NextHop: [4]byte{192, 0, 2, 1}},
+		{Withdrawn: []Prefix{{Addr: [4]byte{10, 1, 0, 0}, Length: 16}}},
+		{NLRI: []Prefix{{Addr: [4]byte{203, 0, 113, 0}, Length: 24}},
+			Origin: OriginIncomplete, ASPath: []uint16{65000}, NextHop: [4]byte{192, 0, 2, 9},
+			RootCause: rcn.Cause{U: 3, V: 4, Status: rcn.LinkDown, Seq: 17}},
+		{Withdrawn: []Prefix{{Addr: [4]byte{10, 2, 0, 0}, Length: 16}},
+			RootCause: rcn.Cause{U: 1, V: 2, Status: rcn.LinkUp, Seq: 5}},
+	}
+	for _, u := range seeds {
+		b, err := u.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u1, err := UnmarshalUpdate(data)
+		if err != nil {
+			return
+		}
+		b1, err := u1.Marshal()
+		if err != nil {
+			return // decoder accepts forms the encoder cannot emit
+		}
+		u2, err := UnmarshalUpdate(b1)
+		if err != nil {
+			t.Fatalf("decoding own encoding failed: %v\nupdate: %+v", err, u1)
+		}
+		if !reflect.DeepEqual(u1, u2) {
+			t.Fatalf("re-decode changed the update:\n got %+v\nwant %+v", u2, u1)
+		}
+		b2, err := u2.Marshal()
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped update failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encoding is unstable:\n first %x\nsecond %x", b1, b2)
+		}
+	})
+}

@@ -38,6 +38,7 @@ func run(args []string) error {
 		noPlot  = fs.Bool("noplot", false, "suppress ASCII previews")
 		workers = fs.Int("workers", runtime.NumCPU(), "parallel simulation runs per sweep")
 		noCache = fs.Bool("nocache", false, "disable the cross-figure run cache (re-run scenarios shared between figures)")
+		check   = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +47,7 @@ func run(args []string) error {
 	opts := experiment.DefaultOptions()
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Check = *check
 	if !*noCache {
 		opts.Cache = experiment.NewRunCache()
 	}
@@ -59,28 +61,11 @@ func run(args []string) error {
 	g := &generator{opts: opts, outDir: *outDir, plot: !*noPlot}
 	all := *fig == "all"
 	ran := false
-	for name, fn := range map[string]func() error{
-		"table1": g.table1,
-		"fig3":   g.fig3,
-		"fig7":   g.fig7,
-		"fig8":   g.eval, // fig8/9/13/14 share one evaluation pass
-		"fig9":   g.eval,
-		"fig13":  g.eval,
-		"fig14":  g.eval,
-		"fig10":  g.fig10,
-		"fig15":  g.fig15,
-		// Extensions beyond the paper's figures (tech-report variations).
-		"deployment": g.deployment,
-		"filters":    g.filters,
-		"intervals":  g.intervals,
-		"sizes":      g.sizes,
-		"events":     g.events,
-		"loss":       g.loss,
-	} {
-		if all || *fig == name {
+	for _, f := range figures {
+		if all || *fig == f.name {
 			ran = true
-			if err := fn(); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+			if err := f.fn(g); err != nil {
+				return fmt.Errorf("%s: %w", f.name, err)
 			}
 		}
 	}
@@ -91,6 +76,36 @@ func run(args []string) error {
 		fmt.Printf("run cache: %d hits, %d misses, %d uncacheable\n", hits, misses, uncacheable)
 	}
 	return nil
+}
+
+// figure is one named generator step.
+type figure struct {
+	name string
+	fn   func(*generator) error
+}
+
+// figures lists every generator in the fixed order -fig all runs them.
+// The previous map-based dispatch iterated in Go's randomized map order, so
+// consecutive `rfdfig -fig all` invocations produced their artifacts (and
+// "wrote ..." lines) in different sequences; the slice makes the order part
+// of the CLI contract. TestFigureOrder pins it.
+var figures = []figure{
+	{"table1", (*generator).table1},
+	{"fig3", (*generator).fig3},
+	{"fig7", (*generator).fig7},
+	{"fig8", (*generator).eval}, // fig8/9/13/14 share one evaluation pass
+	{"fig9", (*generator).eval},
+	{"fig10", (*generator).fig10},
+	{"fig13", (*generator).eval},
+	{"fig14", (*generator).eval},
+	{"fig15", (*generator).fig15},
+	// Extensions beyond the paper's figures (tech-report variations).
+	{"deployment", (*generator).deployment},
+	{"filters", (*generator).filters},
+	{"intervals", (*generator).intervals},
+	{"sizes", (*generator).sizes},
+	{"events", (*generator).events},
+	{"loss", (*generator).loss},
 }
 
 // generator carries shared state so the eval pass runs once even when
@@ -198,17 +213,21 @@ func (g *generator) eval() error {
 	}
 	fmt.Printf("eval: %d pulse counts x 4 configurations in %v (critical point Nh = %d)\n",
 		len(data.Rows), time.Since(start).Round(time.Second), data.Nh)
-	for name, write := range map[string]func(io.Writer) error{
-		"fig8_convergence.csv":      data.WriteFig8CSV,
-		"fig9_messages.csv":         data.WriteFig9CSV,
-		"fig13_rcn_convergence.csv": data.WriteFig13CSV,
-		"fig14_rcn_messages.csv":    data.WriteFig14CSV,
+	for _, out := range []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		// Fixed order: artifacts must appear deterministically (see figures).
+		{"fig8_convergence.csv", data.WriteFig8CSV},
+		{"fig9_messages.csv", data.WriteFig9CSV},
+		{"fig13_rcn_convergence.csv", data.WriteFig13CSV},
+		{"fig14_rcn_messages.csv", data.WriteFig14CSV},
 	} {
-		w, done, err := g.sink(name)
+		w, done, err := g.sink(out.name)
 		if err != nil {
 			return err
 		}
-		if err := write(w); err != nil {
+		if err := out.write(w); err != nil {
 			return err
 		}
 		if err := done(); err != nil {

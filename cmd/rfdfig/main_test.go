@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestFigureOrder pins the -fig all execution order. The dispatch used to
+// iterate a map, so artifacts were produced in a different order on every
+// invocation; the order is now part of the CLI contract.
+func TestFigureOrder(t *testing.T) {
+	want := []string{
+		"table1", "fig3", "fig7", "fig8", "fig9", "fig10", "fig13", "fig14",
+		"fig15", "deployment", "filters", "intervals", "sizes", "events", "loss",
+	}
+	if len(figures) != len(want) {
+		t.Fatalf("got %d figures, want %d", len(figures), len(want))
+	}
+	for i, f := range figures {
+		if f.name != want[i] {
+			t.Errorf("figures[%d] = %q, want %q", i, f.name, want[i])
+		}
+		if f.fn == nil {
+			t.Errorf("figures[%d] (%q) has nil generator", i, f.name)
+		}
+	}
+}
+
+// TestFigureNamesUnique guards against a copy-paste duplicate shadowing a
+// figure (with the map this was impossible; with the slice a duplicate would
+// silently run one generator twice).
+func TestFigureNamesUnique(t *testing.T) {
+	seen := make(map[string]bool, len(figures))
+	for _, f := range figures {
+		if seen[f.name] {
+			t.Errorf("duplicate figure name %q", f.name)
+		}
+		seen[f.name] = true
+	}
+}

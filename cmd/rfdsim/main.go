@@ -54,6 +54,7 @@ func run(args []string) error {
 		sweep     = fs.String("sweep", "", `run a pulse sweep "from:to" (e.g. "0:10") instead of a single -pulses run`)
 		workers   = fs.Int("workers", runtime.NumCPU(), "parallel runs in -sweep mode")
 		verbose   = fs.Bool("v", false, "print the update series summary")
+		checkOn   = fs.Bool("check", false, "run under the runtime invariant checker (slower; any violation fails the run)")
 		traceFile = fs.String("trace", "", "write a JSONL event trace to this file")
 		faultFile = fs.String("faults", "", "apply the fault plan in this file (faults.ParsePlan format)")
 		loss      = fs.Float64("loss", 0, "uniform message-loss probability in [0, 1]")
@@ -130,6 +131,7 @@ func run(args []string) error {
 		Config:       cfg,
 		Pulses:       *pulses,
 		FlapInterval: *interval,
+		Check:        *checkOn,
 	}
 	if *traceFile != "" {
 		sc.Trace = trace.NewLog(0)
@@ -193,6 +195,9 @@ func run(args []string) error {
 	fmt.Printf("origin suppressed %t\n", res.OriginSuppressed)
 	fmt.Printf("reuses            %d noisy, %d silent\n", res.NoisyReuses, res.SilentReuses)
 	fmt.Printf("phases            %s\n", res.Phases)
+	if res.Check != nil {
+		fmt.Printf("invariant check   %s\n", res.Check)
+	}
 	if res.FaultReport != nil {
 		fmt.Printf("messages dropped  %d\n", res.Dropped)
 		fmt.Printf("watchdog          %s\n", res.FaultReport)

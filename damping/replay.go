@@ -4,11 +4,16 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// maxLogSeconds bounds the event times ParseUpdateLog accepts: the largest
+// whole second count that still fits in a time.Duration.
+const maxLogSeconds = float64(math.MaxInt64 / int64(time.Second))
 
 // TimedUpdate is one update in an offline replay: what a router received for
 // one (peer, prefix) pair and when.
@@ -119,6 +124,9 @@ func Replay(params Params, updates []TimedUpdate) (*ReplayResult, error) {
 // may be listed in any order; they are sorted by time.
 func ParseUpdateLog(r io.Reader) ([]TimedUpdate, error) {
 	sc := bufio.NewScanner(r)
+	// The default Scanner token limit is 64 KiB, which a long generated
+	// comment can exceed; allow lines up to 1 MiB, like trace.ReadJSONL.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var raw []struct {
 		at   time.Duration
 		word string
@@ -134,8 +142,11 @@ func ParseUpdateLog(r io.Reader) ([]TimedUpdate, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("damping: log line %d: want \"<seconds> <kind>\", got %q", line, text)
 		}
+		// Reject NaN (every comparison with it is false, so it would slip
+		// through a plain range check) and times too large to represent as a
+		// time.Duration.
 		secs, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil || secs < 0 {
+		if err != nil || math.IsNaN(secs) || secs < 0 || secs > maxLogSeconds {
 			return nil, fmt.Errorf("damping: log line %d: bad time %q", line, fields[0])
 		}
 		raw = append(raw, struct {
@@ -144,7 +155,9 @@ func ParseUpdateLog(r io.Reader) ([]TimedUpdate, error) {
 		}{time.Duration(secs * float64(time.Second)), strings.ToLower(fields[1])})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("damping: read log: %w", err)
+		// The scanner stops at the offending line (e.g. one exceeding the
+		// buffer limit), which is the line after the last successful scan.
+		return nil, fmt.Errorf("damping: log line %d: %w", line+1, err)
 	}
 	sort.SliceStable(raw, func(i, j int) bool { return raw[i].at < raw[j].at })
 

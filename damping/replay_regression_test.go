@@ -1,0 +1,44 @@
+package damping
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseUpdateLogLongCommentLine: a comment longer than bufio.Scanner's
+// default 64 KiB token limit used to abort the parse with "token too long".
+func TestParseUpdateLogLongCommentLine(t *testing.T) {
+	input := "# " + strings.Repeat("x", 80*1024) + "\n10 withdrawal\n"
+	ups, err := ParseUpdateLog(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("long comment line rejected: %v", err)
+	}
+	if len(ups) != 1 {
+		t.Fatalf("got %d updates, want 1", len(ups))
+	}
+}
+
+// TestParseUpdateLogOverlongLine: a line beyond the 1 MiB hard cap must fail
+// with an error naming the offending line.
+func TestParseUpdateLogOverlongLine(t *testing.T) {
+	input := "10 withdrawal\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err := ParseUpdateLog(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+// TestParseUpdateLogRejectsNaNAndHugeTimes: NaN passes every plain range
+// check (all comparisons with it are false) and used to become a garbage
+// time.Duration; times beyond the Duration range silently overflowed.
+func TestParseUpdateLogRejectsNaNAndHugeTimes(t *testing.T) {
+	for _, bad := range []string{"nan", "NaN", "-nan", "1e300", "inf"} {
+		_, err := ParseUpdateLog(strings.NewReader(bad + " w\n"))
+		if err == nil {
+			t.Errorf("time %q accepted", bad)
+		}
+	}
+}

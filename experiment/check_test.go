@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rfd/faults"
+	"rfd/topology"
+)
+
+// The checked golden runs: representative scenarios executed end to end under
+// Scenario.Check. A clean pass here means every invariant sweep and every
+// differential-oracle comparison held for the whole run; any regression in
+// the engine's damping, decision, export, MRAI or message accounting fails
+// loudly with a diagnosis instead of a wrong figure.
+
+func runChecked(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	sc.Check = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil {
+		t.Fatal("checked run produced no check report")
+	}
+	if !res.Check.Ok() {
+		t.Fatalf("violations on a run that returned success: %s", res.Check)
+	}
+	if res.Check.Events == 0 || res.Check.Updates == 0 {
+		t.Fatalf("checker observed nothing: %s", res.Check)
+	}
+	return res
+}
+
+func TestCheckedMeshDamped(t *testing.T) {
+	res := runChecked(t, Scenario{Graph: smallMesh(t), ISP: 0, Config: dampingCfg(), Pulses: 3})
+	if res.Check.Streams == 0 {
+		t.Fatalf("no damping streams shadowed: %s", res.Check)
+	}
+}
+
+func TestCheckedMeshRCN(t *testing.T) {
+	cfg := dampingCfg()
+	cfg.EnableRCN = true
+	runChecked(t, Scenario{Graph: smallMesh(t), ISP: 0, Config: cfg, Pulses: 3, FlapViaLink: true})
+}
+
+func TestCheckedInternetDamped(t *testing.T) {
+	g, err := topology.InternetDerived(topology.DefaultInternetConfig(30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChecked(t, Scenario{Graph: g, ISP: 15, Config: dampingCfg(), Pulses: 2})
+}
+
+func TestCheckedFaultyRun(t *testing.T) {
+	imp := faults.NewImpairments(1)
+	if err := imp.SetDefault(faults.Profile{Loss: 0.02, MaxJitter: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(
+		faults.FlapLink(30*time.Second, 1, 2, 10*time.Second),
+		faults.CrashRouter(90*time.Second, 7, 20*time.Second),
+	)
+	sc := Scenario{
+		Graph:    smallMesh(t),
+		ISP:      0,
+		Config:   dampingCfg(),
+		Pulses:   2,
+		Impair:   imp,
+		Faults:   plan,
+		Watchdog: &faults.WatchdogConfig{},
+	}
+	runChecked(t, sc)
+}
+
+// TestUncheckedRunHasNoReport pins that Check defaults off: plain runs pay
+// nothing and carry no report.
+func TestUncheckedRunHasNoReport(t *testing.T) {
+	res, err := Run(Scenario{Graph: smallMesh(t), ISP: 0, Config: dampingCfg(), Pulses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check != nil {
+		t.Fatalf("unchecked run carries a check report: %s", res.Check)
+	}
+}
+
+// TestCheckedFingerprintDistinct pins the cache-poisoning fix: a checked and
+// an unchecked scenario must never share a fingerprint, or a checked figure
+// pass could be served unchecked cached Results (and vice versa).
+func TestCheckedFingerprintDistinct(t *testing.T) {
+	sc := Scenario{Graph: smallMesh(t), ISP: 0, Config: dampingCfg(), Pulses: 1}
+	plain, ok := sc.Fingerprint()
+	if !ok {
+		t.Fatal("scenario unexpectedly unfingerprintable")
+	}
+	sc.Check = true
+	checked, ok := sc.Fingerprint()
+	if !ok {
+		t.Fatal("checked scenario unexpectedly unfingerprintable")
+	}
+	if plain == checked {
+		t.Fatal("checked and unchecked scenarios share a fingerprint")
+	}
+}

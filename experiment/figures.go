@@ -35,6 +35,10 @@ type Options struct {
 	// shared between figures (the undamped mesh baseline, the damped sweeps)
 	// execute once and are served from cache afterwards.
 	Cache *RunCache
+	// Check runs every scenario under the runtime invariant checker
+	// (Scenario.Check). Figures come out identical — the checker only
+	// observes — but any invariant violation fails the figure loudly.
+	Check bool
 }
 
 // DefaultOptions returns the paper-scale settings.
@@ -104,7 +108,7 @@ func (o Options) meshScenario(cfg bgp.Config) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	return Scenario{Graph: g, ISP: 0, Config: cfg, FlapInterval: o.FlapInterval}, nil
+	return Scenario{Graph: g, ISP: 0, Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check}, nil
 }
 
 // internetScenario builds the Internet-derived scenario with the given node
@@ -116,7 +120,7 @@ func (o Options) internetScenario(cfg bgp.Config, nodes int, policy bgp.Policy) 
 		return Scenario{}, err
 	}
 	cfg.Policy = policy
-	return Scenario{Graph: g, ISP: topology.NodeID(nodes / 2), Config: cfg, FlapInterval: o.FlapInterval}, nil
+	return Scenario{Graph: g, ISP: topology.NodeID(nodes / 2), Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check}, nil
 }
 
 // ---------------------------------------------------------------------------

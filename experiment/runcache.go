@@ -47,8 +47,11 @@ func (s Scenario) fingerprintBase() (string, bool) {
 		interval = DefaultFlapInterval
 	}
 	cfg := s.Config
-	fmt.Fprintf(h, "isp %d\ninterval %d\nvialink %t\npolicy %d\nrcn %t\nselective %t\nhistsize %d\nmrai %d\nmraijitter %t\nlink %d %d\nproc %d %d\nseed %d\n",
-		s.ISP, interval, s.FlapViaLink, cfg.Policy, cfg.EnableRCN,
+	// Check does not change the Result's measurements, but a checked run
+	// carries a Result.Check report an unchecked one lacks — and a checked
+	// figure pass must not be satisfied by unchecked cached Results.
+	fmt.Fprintf(h, "isp %d\ninterval %d\nvialink %t\ncheck %t\npolicy %d\nrcn %t\nselective %t\nhistsize %d\nmrai %d\nmraijitter %t\nlink %d %d\nproc %d %d\nseed %d\n",
+		s.ISP, interval, s.FlapViaLink, s.Check, cfg.Policy, cfg.EnableRCN,
 		cfg.SelectiveDamping, cfg.RCNHistorySize, cfg.MRAI, cfg.MRAIJitter,
 		cfg.MinLinkDelay, cfg.MaxLinkDelay, cfg.MinProcDelay, cfg.MaxProcDelay,
 		cfg.Seed)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rfd/bgp"
+	"rfd/check"
 	"rfd/faults"
 	"rfd/metrics"
 	"rfd/sim"
@@ -81,6 +82,14 @@ type Scenario struct {
 	// instead of a bare kernel run: quiescent-instant consistency checks,
 	// livelock abort, and a FaultReport on the Result.
 	Watchdog *faults.WatchdogConfig
+	// Check, when true, runs the flap phase under the runtime invariant
+	// checker (package check): a full RIB/timer/conservation sweep after
+	// every event plus the differential damping oracle. Any violation fails
+	// the run; the report lands on Result.Check either way. Checked runs are
+	// several times slower — this is a debugging and CI mode, not a
+	// measurement mode (the checker's own hooks do not perturb the
+	// simulation, only wall-clock time).
+	Check bool
 }
 
 // OriginID returns the router ID the attached originAS will receive: the
@@ -161,6 +170,11 @@ type Result struct {
 	// FaultReport is the watchdog's verdict when Scenario.Watchdog was set,
 	// nil otherwise.
 	FaultReport *faults.Report
+	// Check is the invariant checker's report when Scenario.Check was set,
+	// nil otherwise. A run with violations fails outright, so a non-nil
+	// report here is always clean; it still carries the sweep/oracle
+	// coverage counters.
+	Check *check.Report
 }
 
 // Run executes the scenario and returns its measurements. The run is a pure
@@ -299,6 +313,24 @@ func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) 
 		}
 	}
 
+	// The invariant checker attaches after the hooks and fault apparatus so
+	// it observes (and chains to) the final observer configuration. Attaching
+	// here — on a converged network with damping state just reset — is the
+	// supported mode: every shadow damping stream starts in sync.
+	var chk *check.Checker
+	if sc.Check {
+		var err error
+		chk, err = check.Attach(n, check.Options{
+			ISP:    bgp.RouterID(sc.ISP),
+			Origin: origin,
+			Prefix: FlapPrefix,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: invariant checker: %w", err)
+		}
+		defer chk.Detach()
+	}
+
 	// Flap phase.
 	flapDown := func() error {
 		if sc.FlapViaLink {
@@ -347,6 +379,12 @@ func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) 
 		}
 	} else if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("experiment: drain: %w", err)
+	}
+	if chk != nil {
+		res.Check = chk.Finish()
+		if err := res.Check.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: invariant check: %w", err)
+		}
 	}
 	res.EndTime = k.Now() - epoch
 	res.Dropped = n.Dropped()

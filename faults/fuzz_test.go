@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan checks that every accepted plan survives a render/reparse
+// round trip unchanged: Event.String() emits exactly the ParsePlan line
+// format, and time.Duration strings round-trip exactly. Anything rejected
+// must be rejected gracefully (error, not panic).
+func FuzzParsePlan(f *testing.F) {
+	f.Add("10s  flap 3 4 5s\n20s down 1 2\n80s up   1 2\n")
+	f.Add("30s reset 3 4\n40s crash 7 15s\n45s crash 8\n55s restart 7\n")
+	f.Add("0s loss 60s 0.01\n0s loss 60s 1 3 4\n# comment\n\n")
+	f.Add("1h2m3.5s down 0 1\n-5s up 0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePlan(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		for _, e := range p.Events {
+			sb.WriteString(e.String())
+			sb.WriteByte('\n')
+		}
+		p2, err := ParsePlan(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rendered plan rejected: %v\nrendered:\n%s", err, sb.String())
+		}
+		if !reflect.DeepEqual(p.Events, p2.Events) {
+			t.Fatalf("round trip changed the plan:\n got %+v\nwant %+v\nrendered:\n%s",
+				p2.Events, p.Events, sb.String())
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +30,9 @@ import (
 func ParsePlan(r io.Reader) (*Plan, error) {
 	p := &Plan{}
 	sc := bufio.NewScanner(r)
+	// The default Scanner token limit is 64 KiB, which a long generated
+	// comment can exceed; allow lines up to 1 MiB, like trace.ReadJSONL.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -47,7 +51,9 @@ func ParsePlan(r io.Reader) (*Plan, error) {
 		p.Add(ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("faults: %w", err)
+		// The scanner stops at the offending line (e.g. one exceeding the
+		// buffer limit), which is the line after the last successful scan.
+		return nil, fmt.Errorf("faults: line %d: %w", lineno+1, err)
 	}
 	return p, nil
 }
@@ -119,8 +125,8 @@ func parseEvent(fields []string) (Event, error) {
 			return Event{}, fmt.Errorf("loss: bad duration %q: %w", args[0], err)
 		}
 		rate, err := strconv.ParseFloat(args[1], 64)
-		if err != nil {
-			return Event{}, fmt.Errorf("loss: bad rate %q: %w", args[1], err)
+		if err != nil || math.IsNaN(rate) {
+			return Event{}, fmt.Errorf("loss: bad rate %q", args[1])
 		}
 		if len(args) == 2 {
 			return NetworkLoss(at, dur, rate), nil

@@ -1,0 +1,44 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePlanLongCommentLine: a comment longer than bufio.Scanner's default
+// 64 KiB token limit used to abort the parse with a bare "token too long".
+func TestParsePlanLongCommentLine(t *testing.T) {
+	input := "# " + strings.Repeat("x", 80*1024) + "\n10s down 1 2\n"
+	p, err := ParsePlan(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("long comment line rejected: %v", err)
+	}
+	if len(p.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(p.Events))
+	}
+}
+
+// TestParsePlanOverlongLine: a line beyond the 1 MiB hard cap must fail with
+// an error naming the offending line.
+func TestParsePlanOverlongLine(t *testing.T) {
+	input := "10s down 1 2\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err := ParsePlan(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+// TestParsePlanRejectsNaNLossRate: NaN passes every ordinary range check
+// (all comparisons with it are false), so it used to slip through as a loss
+// rate and poison the impairment model.
+func TestParsePlanRejectsNaNLossRate(t *testing.T) {
+	for _, bad := range []string{"nan", "NaN", "-nan"} {
+		_, err := ParsePlan(strings.NewReader("0s loss 60s " + bad + "\n"))
+		if err == nil {
+			t.Errorf("loss rate %q accepted", bad)
+		}
+	}
+}

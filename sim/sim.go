@@ -122,12 +122,13 @@ type TraceFunc func(at time.Duration, name string)
 // Kernel is a deterministic discrete-event scheduler. Construct with
 // NewKernel; a Kernel must not be shared between goroutines.
 type Kernel struct {
-	q         eventq.Queue[event]
-	now       time.Duration
-	rng       *xrand.Rand
-	executed  uint64
-	maxEvents uint64
-	trace     TraceFunc
+	q          eventq.Queue[event]
+	now        time.Duration
+	rng        *xrand.Rand
+	executed   uint64
+	maxEvents  uint64
+	trace      TraceFunc
+	afterEvent TraceFunc
 }
 
 // Option configures a Kernel.
@@ -177,6 +178,18 @@ func (k *Kernel) SetTrace(fn TraceFunc) { k.trace = fn }
 // existing observer — save this, install their own function, and call the
 // saved one from it.
 func (k *Kernel) Trace() TraceFunc { return k.trace }
+
+// SetAfterEvent installs fn to run after every fired event's callback has
+// returned (nil disables). Where SetTrace observes an event about to fire,
+// the after-event observer sees the state the event left behind — which is
+// what an invariant checker needs: every mutation the callback made is
+// visible, and the next event has not yet run. Chaining works exactly as for
+// SetTrace: save AfterEvent, install your own function, call the saved one.
+func (k *Kernel) SetAfterEvent(fn TraceFunc) { k.afterEvent = fn }
+
+// AfterEvent returns the currently installed after-event observer (nil when
+// none is installed).
+func (k *Kernel) AfterEvent() TraceFunc { return k.afterEvent }
 
 // NextEventTime returns the virtual time of the earliest pending event and
 // whether one exists. It is the kernel's idle-detection hook: between Now and
@@ -247,6 +260,9 @@ func (k *Kernel) Step() bool {
 		ev.fn()
 	} else {
 		ev.h.HandleEvent(ev.arg)
+	}
+	if k.afterEvent != nil {
+		k.afterEvent(k.now, ev.name)
 	}
 	return true
 }

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzJSONLRoundTrip checks that any stream ReadJSONL accepts re-encodes and
+// re-reads to the identical event sequence (JSON floats use the shortest
+// exact representation, so no precision is lost), and that malformed input
+// fails gracefully (error, not panic).
+func FuzzJSONLRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"at":1000000000,"kind":"deliver","router":1,"peer":2,"prefix":"origin/8","path":"3 2"}` + "\n"))
+	f.Add([]byte(`{"at":5,"kind":"penalty","router":0,"peer":9,"penalty":2750.5}` + "\n" +
+		`{"at":6,"kind":"suppress","router":0,"peer":9}` + "\n\n" +
+		`{"at":7,"kind":"reuse","router":0,"peer":9,"noisy":true}` + "\n"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		l, err := ReadJSONL(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := l.WriteJSONL(&buf); err != nil {
+			// JSON numbers never decode to NaN/Inf, so everything ReadJSONL
+			// accepts must re-encode; a write failure here is a bug.
+			t.Fatalf("re-encoding accepted events failed: %v", err)
+		}
+		l2, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(l.Events(), l2.Events()) {
+			t.Fatalf("round trip changed events:\n got %+v\nwant %+v", l2.Events(), l.Events())
+		}
+	})
+}

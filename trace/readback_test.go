@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONLPastDefaultCapacity is the regression test for ReadJSONL
+// silently truncating long streams: it used to read into a NewLog(0), whose
+// DefaultCapacity bound dropped every event past 1<<20 even though the doc
+// promised an unbounded read-back.
+func TestReadJSONLPastDefaultCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >DefaultCapacity JSONL stream")
+	}
+	const extra = 5
+	const total = DefaultCapacity + extra
+	var buf bytes.Buffer
+	buf.Grow(total * 48)
+	for i := 0; i < total; i++ {
+		// Stream-encode by hand; building a Log of this size first would
+		// defeat the point (and NewLog caps at DefaultCapacity anyway).
+		fmt.Fprintf(&buf, "{\"at\":%d,\"kind\":\"penalty\",\"router\":1,\"peer\":2,\"penalty\":%d}\n", i, i)
+	}
+	l, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != total {
+		t.Fatalf("read back %d events, want %d (stream truncated at capacity?)", l.Len(), total)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("read-back dropped %d events", l.Dropped())
+	}
+	// Spot-check the tail survived intact.
+	last := l.Events()[total-1]
+	if last.At != total-1 || last.Penalty != float64(total-1) {
+		t.Fatalf("last event corrupted: %+v", last)
+	}
+}
+
+// TestReadJSONLOverlongLine verifies an oversized line fails with an error
+// naming the line, not a bare scanner error.
+func TestReadJSONLOverlongLine(t *testing.T) {
+	input := "{\"at\":1,\"kind\":\"deliver\",\"router\":0,\"peer\":1}\n" +
+		"{\"at\":2,\"kind\":\"deliver\",\"path\":\"" + strings.Repeat("7 ", 1<<20) + "\"}\n"
+	_, err := ReadJSONL(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -169,9 +170,11 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 }
 
 // ReadJSONL parses a JSON Lines stream produced by WriteJSONL. Blank lines
-// are skipped; the log is unbounded by the source capacity.
+// are skipped. The returned log is genuinely unbounded: reading back a stream
+// longer than DefaultCapacity keeps every event (the bounded default exists
+// to cap live recording, not to silently truncate data already on disk).
 func ReadJSONL(r io.Reader) (*Log, error) {
-	l := NewLog(0)
+	l := &Log{capacity: math.MaxInt}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -188,7 +191,9 @@ func ReadJSONL(r io.Reader) (*Log, error) {
 		l.Append(e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
+		// The scanner stops at the offending line, so the failure is at the
+		// line after the last successful scan.
+		return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
 	}
 	return l, nil
 }
