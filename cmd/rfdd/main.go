@@ -1,0 +1,465 @@
+// Command rfdd serves the flap-damping experiment pipeline over HTTP: sweep
+// and figure requests run through a shared worker pool and a two-level run
+// cache (in-memory singleflight over a crash-safe persistent disk cache), so
+// repeated requests for the same scenario are served without re-simulating —
+// across requests and across daemon restarts.
+//
+// Endpoints:
+//
+//	POST /v1/sweep    JSON sweep request -> JSON points (partial on failure)
+//	GET  /v1/figure   ?name=table1|fig3|fig8|fig9|fig13|fig14 [&small=1] -> CSV
+//	GET  /healthz     liveness + cache/admission statistics (JSON)
+//
+// Operational behaviour:
+//
+//   - Admission control: at most -concurrency requests simulate at once and
+//     at most -queue more wait; beyond that the daemon answers 429 instead of
+//     accepting unbounded work.
+//   - Deadlines: every request runs under a context bounded by -timeout (a
+//     request may ask for less via "timeout_ms", never for more). Exceeding
+//     it returns 504 with the typed budget error; the simulation stops
+//     within one kernel poll interval.
+//   - Panic isolation: a panicking run fails its own request (and only it)
+//     with a quarantined stack fingerprint; the daemon keeps serving.
+//   - Graceful drain: SIGTERM/SIGINT stops accepting connections, lets
+//     in-flight requests finish (bounded by -drain), then exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rfd/experiment"
+	"rfd/experiment/diskcache"
+)
+
+func main() {
+	fs := flag.NewFlagSet("rfdd", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = fs.Int("workers", runtime.NumCPU(), "parallel simulation runs per sweep")
+		cacheDir    = fs.String("cachedir", "", "persistent run cache directory (memory-only when empty)")
+		queue       = fs.Int("queue", 16, "max requests waiting for a simulation slot before 429")
+		concurrency = fs.Int("concurrency", 2, "max requests simulating at once")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "per-request deadline cap")
+		drain       = fs.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
+	)
+	fs.Parse(os.Args[1:])
+
+	srv, err := newServer(serverConfig{
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		Queue:       *queue,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		log.Fatalf("rfdd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if err := run(ctx, *addr, *drain, srv); err != nil {
+		log.Fatalf("rfdd: %v", err)
+	}
+}
+
+// run serves until ctx trips, then drains.
+func run(ctx context.Context, addr string, drain time.Duration, srv *server) error {
+	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("rfdd: listening on %s (workers %d, concurrency %d, queue %d, timeout %v)",
+		addr, srv.cfg.Workers, srv.cfg.Concurrency, srv.cfg.Queue, srv.cfg.Timeout)
+	select {
+	case err := <-errc:
+		return err // bind failure etc.
+	case <-ctx.Done():
+	}
+	log.Printf("rfdd: shutdown signal received, draining (bound %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("rfdd: drained cleanly")
+	return nil
+}
+
+// serverConfig sizes the daemon.
+type serverConfig struct {
+	Workers     int
+	CacheDir    string
+	Queue       int
+	Concurrency int
+	Timeout     time.Duration
+}
+
+// server is the shared state behind every request: one run cache (optionally
+// persistent) and the admission-control semaphores.
+type server struct {
+	cfg     serverConfig
+	cache   *experiment.RunCache
+	disk    *diskcache.Cache // nil when memory-only
+	started time.Time
+
+	// Admission control: queueSlots bounds waiting+running requests;
+	// runSlots bounds running ones. A request that cannot take a queue slot
+	// immediately is rejected with 429.
+	queueSlots chan struct{}
+	runSlots   chan struct{}
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	s := &server{
+		cfg:        cfg,
+		cache:      experiment.NewRunCache(),
+		started:    time.Now(),
+		queueSlots: make(chan struct{}, cfg.Queue+cfg.Concurrency),
+		runSlots:   make(chan struct{}, cfg.Concurrency),
+	}
+	if cfg.CacheDir != "" {
+		disk, err := diskcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.cache.SetStore(disk)
+	}
+	return s, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/figure", s.handleFigure)
+	return mux
+}
+
+// admit takes an admission slot, or fails with 429 when the queue is full.
+// The returned release function must be called exactly once.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.queueSlots <- struct{}{}:
+	default:
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d waiting + %d running)", s.cfg.Queue, s.cfg.Concurrency))
+		return nil, false
+	}
+	// Wait for a run slot, but give up if the client goes away first.
+	select {
+	case s.runSlots <- struct{}{}:
+	case <-r.Context().Done():
+		<-s.queueSlots
+		httpError(w, statusForErr(experiment.ErrCanceled), experiment.ErrCanceled)
+		return nil, false
+	}
+	return func() {
+		<-s.runSlots
+		<-s.queueSlots
+	}, true
+}
+
+// requestContext bounds r's context by the server timeout, tightened to the
+// request's own timeout_ms when smaller.
+func (s *server) requestContext(r *http.Request, requestedMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if requestedMS > 0 {
+		if req := time.Duration(requestedMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// sweepRequest is the POST /v1/sweep body. The topology is specified by
+// shape, not by adjacency: requests are small and every scenario the daemon
+// runs is reproducible from the request alone (which is exactly what the
+// content-addressed cache needs).
+type sweepRequest struct {
+	// Topology is "mesh" (default) or "internet".
+	Topology string `json:"topology"`
+	// Rows/Cols size the mesh (default 5x5); Nodes sizes the internet
+	// topology (default 30).
+	Rows  int `json:"rows"`
+	Cols  int `json:"cols"`
+	Nodes int `json:"nodes"`
+	// Damping is "none" (default), "cisco" or "juniper"; RCN adds
+	// root-cause notification on top.
+	Damping string `json:"damping"`
+	RCN     bool   `json:"rcn"`
+	// Pulses lists the pulse counts to sweep (default 0..4).
+	Pulses []int `json:"pulses"`
+	// Seed and FlapIntervalS parameterize the workload.
+	Seed          uint64  `json:"seed"`
+	FlapIntervalS float64 `json:"flap_interval_s"`
+	// TimeoutMS tightens (never loosens) the server's per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// sweepResponse is the JSON reply: one entry per requested pulse count, in
+// request order. Failed points carry an error and no data — a single bad
+// point does not void its neighbours.
+type sweepResponse struct {
+	Points []sweepPointJSON `json:"points"`
+	Error  string           `json:"error,omitempty"`
+}
+
+type sweepPointJSON struct {
+	Pulses          int     `json:"pulses"`
+	ConvergenceSecs float64 `json:"convergence_s,omitempty"`
+	Messages        int     `json:"messages,omitempty"`
+	MaxDamped       int     `json:"max_damped,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	base, pulses, err := req.scenario()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	pts, sweepErr := s.cache.SweepContext(ctx, base, pulses, s.cfg.Workers)
+	resp := sweepResponse{Points: make([]sweepPointJSON, len(pts))}
+	for i, p := range pts {
+		resp.Points[i].Pulses = p.Pulses
+		if p.Err != nil {
+			resp.Points[i].Error = p.Err.Error()
+			continue
+		}
+		resp.Points[i].ConvergenceSecs = p.Result.ConvergenceTime.Seconds()
+		resp.Points[i].Messages = p.Result.MessageCount
+		resp.Points[i].MaxDamped = p.Result.MaxDamped
+	}
+	if sweepErr != nil {
+		resp.Error = sweepErr.Error()
+		// Partial results still ship, with the status telling the class of
+		// failure: deadline -> 504, cancel -> 499-style 503, else 500.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(statusForErr(sweepErr))
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// scenario materializes the request into a runnable base scenario.
+func (r sweepRequest) scenario() (experiment.Scenario, []int, error) {
+	opts := experiment.DefaultOptions()
+	opts.MeshRows, opts.MeshCols = 5, 5
+	opts.InternetNodes = 30
+	if r.Rows > 0 {
+		opts.MeshRows = r.Rows
+	}
+	if r.Cols > 0 {
+		opts.MeshCols = r.Cols
+	}
+	if r.Nodes > 0 {
+		opts.InternetNodes = r.Nodes
+	}
+	if r.Seed > 0 {
+		opts.Seed = r.Seed
+	}
+	if r.FlapIntervalS > 0 {
+		opts.FlapInterval = time.Duration(r.FlapIntervalS * float64(time.Second))
+	}
+	pulses := r.Pulses
+	if len(pulses) == 0 {
+		pulses = experiment.PulseRange(0, 4)
+	}
+	if len(pulses) > 64 {
+		return experiment.Scenario{}, nil, fmt.Errorf("too many pulse counts (%d, max 64)", len(pulses))
+	}
+	sc, err := experiment.DaemonScenario(opts, r.Topology, r.Damping, r.RCN)
+	if err != nil {
+		return experiment.Scenario{}, nil, err
+	}
+	return sc, pulses, nil
+}
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	opts := experiment.DefaultOptions()
+	opts.Workers = s.cfg.Workers
+	opts.Cache = s.cache
+	if r.URL.Query().Get("small") != "" {
+		opts.MeshRows, opts.MeshCols = 5, 5
+		opts.InternetNodes = 30
+		opts.PolicyNodes = 40
+		opts.MaxPulses = 4
+	}
+
+	// table1 and fig3 are cheap (analytic); the eval figures simulate and go
+	// through admission control like any sweep.
+	switch name {
+	case "table1":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := experiment.WriteTable1CSV(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	case "fig3":
+		data, err := experiment.Fig3(opts)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		if err := data.WriteCSV(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	case "fig8", "fig9", "fig13", "fig14":
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.requestContext(r, 0)
+		defer cancel()
+		opts.Ctx = ctx
+		data, err := experiment.Eval(opts)
+		if err != nil {
+			httpError(w, statusForErr(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		var werr error
+		switch name {
+		case "fig8":
+			werr = data.WriteFig8CSV(w)
+		case "fig9":
+			werr = data.WriteFig9CSV(w)
+		case "fig13":
+			werr = data.WriteFig13CSV(w)
+		case "fig14":
+			werr = data.WriteFig14CSV(w)
+		}
+		if werr != nil {
+			httpError(w, http.StatusInternalServerError, werr)
+		}
+		return
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown figure %q (want table1, fig3, fig8, fig9, fig13 or fig14)", name))
+	}
+}
+
+// healthz reports liveness plus the statistics an operator watches: cache
+// effectiveness, persistent-layer traffic, and admission pressure.
+type healthz struct {
+	Status        string  `json:"status"`
+	UptimeSecs    float64 `json:"uptime_s"`
+	Running       int     `json:"running"`
+	Queued        int     `json:"queued"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Uncacheable   uint64  `json:"uncacheable"`
+	StoreHits     uint64  `json:"store_hits"`
+	StoreErrors   uint64  `json:"store_errors"`
+	DiskLoads     uint64  `json:"disk_loads,omitempty"`
+	DiskStores    uint64  `json:"disk_stores,omitempty"`
+	DiskCorrupt   uint64  `json:"disk_corrupt,omitempty"`
+	DiskCacheDir  string  `json:"disk_cache_dir,omitempty"`
+	MemoryOnly    bool    `json:"memory_only"`
+	Concurrency   int     `json:"concurrency"`
+	QueueCapacity int     `json:"queue_capacity"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, uncacheable := s.cache.Stats()
+	storeHits, storeErrors := s.cache.StoreStats()
+	running := len(s.runSlots)
+	h := healthz{
+		Status:        "ok",
+		UptimeSecs:    time.Since(s.started).Seconds(),
+		Running:       running,
+		Queued:        len(s.queueSlots) - running,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Uncacheable:   uncacheable,
+		StoreHits:     storeHits,
+		StoreErrors:   storeErrors,
+		MemoryOnly:    s.disk == nil,
+		Concurrency:   s.cfg.Concurrency,
+		QueueCapacity: s.cfg.Queue,
+	}
+	if s.disk != nil {
+		loads, _, stores, corrupt, _ := s.disk.Stats()
+		h.DiskLoads, h.DiskStores, h.DiskCorrupt = loads, stores, corrupt
+		h.DiskCacheDir = s.disk.Dir()
+	}
+	writeJSON(w, h)
+}
+
+// statusForErr maps the experiment error taxonomy to HTTP statuses.
+func statusForErr(err error) int {
+	switch {
+	case errors.Is(err, experiment.ErrBudgetExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, experiment.ErrCanceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = time.Minute
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postSweep(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, sweepResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp sweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response body %q: %v", rec.Body.String(), err)
+	}
+	return rec, resp
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	rec, resp := postSweep(t, h, `{"rows":4,"cols":4,"damping":"cisco","pulses":[0,1,2]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if len(resp.Points) != 3 || resp.Error != "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	for i, want := range []int{0, 1, 2} {
+		p := resp.Points[i]
+		if p.Pulses != want || p.Error != "" {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+		if want > 0 && (p.ConvergenceSecs <= 0 || p.Messages <= 0) {
+			t.Fatalf("point n=%d has empty measurements: %+v", want, p)
+		}
+	}
+
+	// Same request again: served from the shared cache, no new misses.
+	_, m1, _ := s.cache.Stats()
+	rec2, _ := postSweep(t, h, `{"rows":4,"cols":4,"damping":"cisco","pulses":[0,1,2]}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second sweep status = %d", rec2.Code)
+	}
+	if hits, m2, _ := s.cache.Stats(); m2 != m1 || hits < 3 {
+		t.Fatalf("second sweep not cache-served: hits=%d misses %d -> %d", hits, m1, m2)
+	}
+}
+
+func TestSweepPartialFailure(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	rec, resp := postSweep(t, s.routes(), `{"rows":3,"cols":3,"pulses":[0,-1,1]}`)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 for a failed point", rec.Code)
+	}
+	if resp.Error == "" {
+		t.Fatal("no top-level error for a failed point")
+	}
+	if resp.Points[0].Error != "" || resp.Points[2].Error != "" {
+		t.Fatalf("healthy points carry errors: %+v", resp.Points)
+	}
+	if resp.Points[1].Error == "" {
+		t.Fatal("invalid point carries no error")
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{`},
+		{"unknown topology", `{"topology":"hypercube"}`},
+		{"unknown damping", `{"damping":"strict"}`},
+		{"rcn without damping", `{"rcn":true}`},
+		{"too many points", `{"pulses":[` + strings.Repeat("1,", 64) + `1]}`},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(tc.body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/sweep", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep status = %d, want 405", rec.Code)
+	}
+}
+
+func TestSweepDeadline(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	// Paper-scale mesh: each point runs hundreds of thousands of events, so
+	// a 1 ms deadline is exhausted mid-run with certainty.
+	rec, resp := postSweep(t, s.routes(),
+		`{"rows":10,"cols":10,"damping":"cisco","pulses":[8,9,10],"timeout_ms":1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504 for an exhausted deadline", rec.Code, rec.Body)
+	}
+	if !strings.Contains(resp.Error, "budget") {
+		t.Fatalf("error %q does not name the budget", resp.Error)
+	}
+}
+
+// TestAdmissionControl fills every run and queue slot by hand, then checks
+// the next request bounces with 429 — deterministically, no racing sweeps.
+func TestAdmissionControl(t *testing.T) {
+	s := testServer(t, serverConfig{Concurrency: 1, Queue: 1})
+	for i := 0; i < cap(s.queueSlots); i++ {
+		s.queueSlots <- struct{}{}
+	}
+	rec, resp := postSweep(t, s.routes(), `{"rows":3,"cols":3,"pulses":[0]}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 with a full queue", rec.Code)
+	}
+	if !strings.Contains(resp.Error, "queue full") {
+		t.Fatalf("error %q does not name the full queue", resp.Error)
+	}
+	// Free the slots: the same request is now admitted.
+	for i := 0; i < cap(s.queueSlots); i++ {
+		<-s.queueSlots
+	}
+	rec, _ = postSweep(t, s.routes(), `{"rows":3,"cols":3,"pulses":[0]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status after slots freed = %d, want 200", rec.Code)
+	}
+	if len(s.runSlots) != 0 || len(s.queueSlots) != 0 {
+		t.Fatalf("slots leaked: run=%d queue=%d", len(s.runSlots), len(s.queueSlots))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, serverConfig{CacheDir: dir})
+	h := s.routes()
+	// One sweep so the stats are non-trivial.
+	if rec, _ := postSweep(t, h, `{"rows":3,"cols":3,"pulses":[0,1]}`); rec.Code != http.StatusOK {
+		t.Fatalf("sweep status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	var hz healthz
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.MemoryOnly {
+		t.Fatalf("healthz = %+v", hz)
+	}
+	if hz.CacheMisses != 2 || hz.DiskStores != 2 {
+		t.Fatalf("healthz stats = %+v, want 2 misses stored to disk", hz)
+	}
+	if hz.Running != 0 || hz.Queued != 0 {
+		t.Fatalf("healthz admission = running %d queued %d, want idle", hz.Running, hz.Queued)
+	}
+	if hz.DiskCacheDir != dir {
+		t.Fatalf("healthz cache dir = %q, want %q", hz.DiskCacheDir, dir)
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	for _, name := range []string{"table1", "fig3"} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/figure?name="+name, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", name, rec.Code, rec.Body)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+			t.Errorf("%s content type = %q", name, ct)
+		}
+		if !strings.Contains(rec.Body.String(), ",") {
+			t.Errorf("%s body does not look like CSV: %q", name, rec.Body.String()[:40])
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/figure?name=fig99", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown figure status = %d, want 400", rec.Code)
+	}
+}
+
+// TestGracefulDrain runs the real serve loop on a loopback port, starts a
+// sweep, sends the shutdown signal mid-request, and checks (a) the in-flight
+// request completes and (b) the serve loop exits cleanly.
+func TestGracefulDrain(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srvErr := make(chan error, 1)
+	addr := "127.0.0.1:18473"
+	go func() { srvErr <- run(ctx, addr, 30*time.Second, s) }()
+	waitHealthy(t, addr)
+
+	reqErr := make(chan error, 1)
+	status := make(chan int, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/sweep", "application/json",
+			strings.NewReader(`{"rows":5,"cols":5,"damping":"cisco","pulses":[0,1,2,3]}`))
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		status <- resp.StatusCode
+		reqErr <- nil
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	cancel()                          // stands in for SIGTERM (same ctx path)
+
+	select {
+	case err := <-reqErr:
+		if err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", err)
+		}
+		if code := <-status; code != http.StatusOK {
+			t.Fatalf("in-flight request status = %d", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("in-flight request never completed during drain")
+	}
+	select {
+	case err := <-srvErr:
+		if err != nil {
+			t.Fatalf("serve loop exited with %v, want clean drain", err)
+		}
+	case <-time.After(35 * time.Second):
+		t.Fatal("serve loop did not exit after the drain")
+	}
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}

@@ -16,23 +16,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rfd/damping"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rfddamp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, in io.Reader, out io.Writer) error {
+func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("rfddamp", flag.ContinueOnError)
 	var (
 		preset   = fs.String("params", "cisco", "parameter preset: cisco | juniper | ripe229")
@@ -71,6 +76,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	updates, err := damping.ParseUpdateLog(in)
 	if err != nil {
+		return err
+	}
+	// Stdin may have been an interrupted pipe; do not replay a truncated log.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if len(updates) == 0 {

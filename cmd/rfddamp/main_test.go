@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ const sampleLog = `0 initial
 
 func TestRunReportsSuppression(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(sampleLog), &out); err != nil {
+	if err := run(context.Background(), nil, strings.NewReader(sampleLog), &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -29,7 +30,7 @@ func TestRunReportsSuppression(t *testing.T) {
 
 func TestRunQuiet(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
+	if err := run(context.Background(), []string{"-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "SUPPRESSED (") {
@@ -43,11 +44,11 @@ func TestRunQuiet(t *testing.T) {
 func TestRunPresets(t *testing.T) {
 	for _, preset := range []string{"cisco", "juniper", "ripe229"} {
 		var out bytes.Buffer
-		if err := run([]string{"-params", preset, "-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
+		if err := run(context.Background(), []string{"-params", preset, "-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
 			t.Fatalf("%s: %v", preset, err)
 		}
 	}
-	if err := run([]string{"-params", "nope"}, strings.NewReader(sampleLog), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-params", "nope"}, strings.NewReader(sampleLog), &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown preset accepted")
 	}
 }
@@ -55,26 +56,26 @@ func TestRunPresets(t *testing.T) {
 func TestRunOverrides(t *testing.T) {
 	// Raising the cutoff above the achievable penalty suppresses nothing.
 	var out bytes.Buffer
-	if err := run([]string{"-cutoff", "9000", "-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
+	if err := run(context.Background(), []string{"-cutoff", "9000", "-quiet"}, strings.NewReader(sampleLog), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "suppressions:     0") {
 		t.Fatalf("high cutoff still suppressed:\n%s", out.String())
 	}
 	// Inconsistent override is rejected.
-	if err := run([]string{"-reuse", "5000"}, strings.NewReader(sampleLog), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-reuse", "5000"}, strings.NewReader(sampleLog), &bytes.Buffer{}); err == nil {
 		t.Fatal("reuse above cutoff accepted")
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
-	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("empty input accepted")
 	}
 }
 
 func TestRunBadInput(t *testing.T) {
-	if err := run(nil, strings.NewReader("garbage\n"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader("garbage\n"), &bytes.Buffer{}); err == nil {
 		t.Fatal("garbage input accepted")
 	}
 }

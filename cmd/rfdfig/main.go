@@ -9,36 +9,45 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"rfd/experiment"
+	"rfd/experiment/diskcache"
 	"rfd/internal/asciiplot"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels every in-flight sweep via the options context;
+	// partially written figure files are abandoned where they are.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rfdfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rfdfig", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | events | loss | all")
-		outDir  = fs.String("out", "", "directory for CSV output (stdout when empty)")
-		small   = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		noPlot  = fs.Bool("noplot", false, "suppress ASCII previews")
-		workers = fs.Int("workers", runtime.NumCPU(), "parallel simulation runs per sweep")
-		noCache = fs.Bool("nocache", false, "disable the cross-figure run cache (re-run scenarios shared between figures)")
-		check   = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
+		fig      = fs.String("fig", "all", "table1 | fig3 | fig7 | fig8 | fig9 | fig10 | fig13 | fig14 | fig15 | deployment | filters | intervals | sizes | events | loss | all")
+		outDir   = fs.String("out", "", "directory for CSV output (stdout when empty)")
+		small    = fs.Bool("small", false, "reduced scale (5x5 mesh, 30/40-node internet, 4 pulses) for quick runs")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		noPlot   = fs.Bool("noplot", false, "suppress ASCII previews")
+		workers  = fs.Int("workers", runtime.NumCPU(), "parallel simulation runs per sweep")
+		noCache  = fs.Bool("nocache", false, "disable the cross-figure run cache (re-run scenarios shared between figures)")
+		cacheDir = fs.String("cachedir", "", "persist the run cache in this directory (shared with rfdd; survives restarts)")
+		check    = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,8 +57,18 @@ func run(args []string) error {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Check = *check
+	opts.Ctx = ctx
 	if !*noCache {
 		opts.Cache = experiment.NewRunCache()
+		if *cacheDir != "" {
+			disk, err := diskcache.Open(*cacheDir)
+			if err != nil {
+				return err
+			}
+			opts.Cache.SetStore(disk)
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cachedir requires the run cache (drop -nocache)")
 	}
 	if *small {
 		opts.MeshRows, opts.MeshCols = 5, 5
@@ -74,6 +93,9 @@ func run(args []string) error {
 	}
 	if hits, misses, uncacheable := opts.Cache.Stats(); hits+misses+uncacheable > 0 {
 		fmt.Printf("run cache: %d hits, %d misses, %d uncacheable\n", hits, misses, uncacheable)
+		if storeHits, storeErrors := opts.Cache.StoreStats(); *cacheDir != "" {
+			fmt.Printf("disk cache: %d served from %s, %d store errors\n", storeHits, *cacheDir, storeErrors)
+		}
 	}
 	return nil
 }

@@ -9,21 +9,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rfd/experiment"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the report's sweeps mid-run; an -o file is
+	// left incomplete rather than silently truncated to a valid-looking one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rfdreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rfdreport", flag.ContinueOnError)
 	var (
 		small = fs.Bool("small", false, "reduced scale for quick runs")
@@ -35,6 +42,7 @@ func run(args []string) error {
 	}
 	opts := experiment.DefaultOptions()
 	opts.Seed = *seed
+	opts.Ctx = ctx
 	if *small {
 		opts.MeshRows, opts.MeshCols = 5, 5
 		opts.InternetNodes = 30

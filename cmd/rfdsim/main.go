@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"rfd/bgp"
@@ -30,13 +33,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C (or a SIGTERM from a supervisor) cancels the run's context: the
+	// kernel stops at its next poll, profiles and deferred cleanups still
+	// run, and the error names the interruption point.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rfdsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rfdsim", flag.ContinueOnError)
 	var (
 		topo      = fs.String("topology", "mesh", "topology family: mesh | internet | ring | line")
@@ -163,10 +171,10 @@ func run(args []string) error {
 		if *traceFile != "" {
 			return fmt.Errorf("-trace is incompatible with -sweep (one trace log cannot record parallel runs)")
 		}
-		return runSweep(sc, *sweep, *workers)
+		return runSweep(ctx, sc, *sweep, *workers)
 	}
 	start := time.Now()
-	res, err := experiment.Run(sc)
+	res, err := experiment.RunContext(ctx, sc)
 	if err != nil {
 		return err
 	}
@@ -225,7 +233,7 @@ func run(args []string) error {
 // runSweep runs the scenario once per pulse count in [from, to] and prints
 // one row per point. The warm-up phase is shared: it executes once and every
 // point forks the converged checkpoint (see experiment.SweepParallel).
-func runSweep(sc experiment.Scenario, spec string, workers int) error {
+func runSweep(ctx context.Context, sc experiment.Scenario, spec string, workers int) error {
 	var from, to int
 	if n, err := fmt.Sscanf(spec, "%d:%d", &from, &to); n != 2 || err != nil {
 		return fmt.Errorf(`bad -sweep %q (want "from:to", e.g. "0:10")`, spec)
@@ -235,7 +243,7 @@ func runSweep(sc experiment.Scenario, spec string, workers int) error {
 		return fmt.Errorf("bad -sweep %q: empty range", spec)
 	}
 	start := time.Now()
-	pts, err := experiment.SweepParallel(sc, pulses, workers)
+	pts, err := experiment.SweepParallelContext(ctx, sc, pulses, workers)
 	if err != nil {
 		return err
 	}

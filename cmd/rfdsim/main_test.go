@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestRunSmallScenario(t *testing.T) {
 	args := []string{"-rows", "4", "-cols", "4", "-pulses", "1"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,7 +26,7 @@ func TestRunVariants(t *testing.T) {
 		{"-rows", "4", "-cols", "4", "-pulses", "1", "-isp", "3"},
 	}
 	for _, args := range cases {
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
@@ -34,7 +35,7 @@ func TestRunVariants(t *testing.T) {
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
 	args := []string{"-rows", "4", "-cols", "4", "-pulses", "1", "-damping", "off", "-trace", path}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(path)
@@ -54,7 +55,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-topology", "ring", "-nodes", "2"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Fatalf("%v accepted", args)
 		}
 	}

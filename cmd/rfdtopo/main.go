@@ -10,22 +10,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"rfd/topology"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rfdtopo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rfdtopo", flag.ContinueOnError)
 	var (
 		kind   = fs.String("type", "mesh", "mesh | internet | waxman | tiered | ring | line | star | fullmesh")
@@ -62,6 +67,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -type %q", *kind)
 	}
 	if err != nil {
+		return err
+	}
+	// Generation can dominate for big -nodes; honour an interrupt that landed
+	// during it instead of emitting a full (now unwanted) artifact.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 

@@ -1,12 +1,15 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunAllTypesAndFormats(t *testing.T) {
 	for _, kind := range []string{"mesh", "internet", "waxman", "tiered", "ring", "line", "star", "fullmesh"} {
 		for _, format := range []string{"stats", "tsv", "dot"} {
 			args := []string{"-type", kind, "-format", format, "-nodes", "20", "-rows", "4", "-cols", "4"}
-			if err := run(args); err != nil {
+			if err := run(context.Background(), args); err != nil {
 				t.Fatalf("%s/%s: %v", kind, format, err)
 			}
 		}
@@ -14,13 +17,13 @@ func TestRunAllTypesAndFormats(t *testing.T) {
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run([]string{"-type", "donut"}); err == nil {
+	if err := run(context.Background(), []string{"-type", "donut"}); err == nil {
 		t.Fatal("unknown type accepted")
 	}
-	if err := run([]string{"-format", "png"}); err == nil {
+	if err := run(context.Background(), []string{"-format", "png"}); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run([]string{"-type", "ring", "-nodes", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-type", "ring", "-nodes", "1"}); err == nil {
 		t.Fatal("invalid generator args accepted")
 	}
 }

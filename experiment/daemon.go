@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rfd/damping"
+)
+
+// DaemonScenario builds a base scenario from shape parameters — the form a
+// service request arrives in (cmd/rfdd), where the topology is specified by
+// family and size rather than by adjacency so every request is small,
+// self-describing and reproducible (which is what the content-addressed run
+// cache keys on). topo is "mesh" (default) or "internet"; damp is "none"
+// (default), "cisco" or "juniper"; rcn layers root-cause notification on a
+// damped configuration.
+func DaemonScenario(o Options, topo, damp string, rcn bool) (Scenario, error) {
+	cfg := o.baseConfig()
+	switch damp {
+	case "", "none":
+		if rcn {
+			return Scenario{}, fmt.Errorf("experiment: rcn requires damping")
+		}
+	case "cisco":
+		params := damping.Cisco()
+		cfg.Damping = &params
+	case "juniper":
+		params := damping.Juniper()
+		cfg.Damping = &params
+	default:
+		return Scenario{}, fmt.Errorf("experiment: unknown damping %q (want none, cisco or juniper)", damp)
+	}
+	cfg.EnableRCN = rcn
+
+	switch topo {
+	case "", "mesh":
+		return o.meshScenario(cfg)
+	case "internet":
+		return o.internetScenario(cfg, o.InternetNodes, cfg.Policy)
+	default:
+		return Scenario{}, fmt.Errorf("experiment: unknown topology %q (want mesh or internet)", topo)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -39,6 +40,11 @@ type Options struct {
 	// (Scenario.Check). Figures come out identical — the checker only
 	// observes — but any invariant violation fails the figure loudly.
 	Check bool
+	// Ctx, when non-nil, supervises every run and sweep the figure executes:
+	// cancelling it stops the figure with a typed ErrCanceled, a deadline
+	// with ErrBudgetExceeded. Nil means context.Background(). An un-tripped
+	// context leaves every figure byte-identical.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper-scale settings.
@@ -62,20 +68,29 @@ func (o Options) workers() int {
 	return runtime.NumCPU()
 }
 
-// sweep runs a pulse sweep honoring the options' worker bound and run cache.
+// ctx resolves the supervising context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// sweep runs a pulse sweep honoring the options' context, worker bound and
+// run cache.
 func (o Options) sweep(base Scenario, pulses []int) ([]SweepPoint, error) {
 	if o.Cache != nil {
-		return o.Cache.Sweep(base, pulses, o.workers())
+		return o.Cache.SweepContext(o.ctx(), base, pulses, o.workers())
 	}
-	return SweepParallel(base, pulses, o.workers())
+	return SweepParallelContext(o.ctx(), base, pulses, o.workers())
 }
 
 // run executes one scenario through the options' run cache when set.
 func (o Options) run(sc Scenario) (*Result, error) {
 	if o.Cache != nil {
-		return o.Cache.Run(sc)
+		return o.Cache.RunContext(o.ctx(), sc)
 	}
-	return Run(sc)
+	return RunContext(o.ctx(), sc)
 }
 
 // baseConfig returns the protocol configuration shared by all runs.

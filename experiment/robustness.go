@@ -72,7 +72,7 @@ func LossSweep(o Options, rates []float64, pulses int) ([]LossRow, error) {
 			}
 			sc.Impair = imp
 			sc.Watchdog = &faults.WatchdogConfig{}
-			res, err := Run(sc)
+			res, err := RunContext(o.ctx(), sc)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: loss %g (damped=%t): %w", rate, damped, err)
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -66,6 +67,18 @@ func (s Scenario) fingerprintBase() (string, bool) {
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 
+// ResultStore is a persistent layer under the in-memory RunCache: Load is
+// consulted on every in-memory miss (by the claiming owner, so singleflight
+// semantics extend to disk reads), and Store is offered every freshly
+// computed Result. Implementations must be safe for concurrent use and must
+// treat stored Results as immutable. experiment/diskcache provides the
+// on-disk implementation; both methods are best-effort — a Load error is
+// treated as a miss and a Store error only surfaces in the stats.
+type ResultStore interface {
+	Load(key string) (*Result, bool, error)
+	Store(key string, res *Result) error
+}
+
 // cacheEntry is one singleflight slot: the claimant runs the scenario and
 // closes done; everyone else waits on done and reads res/err.
 type cacheEntry struct {
@@ -74,12 +87,24 @@ type cacheEntry struct {
 	err  error
 }
 
+// cachedRunner executes a cache miss. It is a variable so the robustness
+// tests can inject transient failures and panics with a stable fingerprint —
+// something no real (deterministic) scenario can produce on demand.
+var cachedRunner = RunContext
+
 // RunCache deduplicates runs by scenario fingerprint: the first request for
 // a fingerprint executes it, concurrent requests for the same fingerprint
 // wait for that execution (singleflight), and later requests return the
 // cached Result immediately. rfdfig uses one cache across all figures, which
 // share scenarios (e.g. the undamped mesh baseline appears in the Eval sweep
-// and as Fig 10/15 inputs).
+// and as Fig 10/15 inputs); rfdd shares one across all requests, layered
+// over a persistent ResultStore.
+//
+// Failures are never cached: an entry whose run errors (or panics, or is
+// cancelled) is evicted before its waiters are released, so the next request
+// for that fingerprint retries instead of replaying a possibly transient
+// error forever. Owners release their waiters via defer — a panicking run
+// unblocks everyone with a *PanicError instead of deadlocking them.
 //
 // Cached Results are shared between callers and must be treated as
 // read-only. Scenarios whose Fingerprint reports ok=false (trace logs,
@@ -88,8 +113,10 @@ type cacheEntry struct {
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	store   ResultStore
 
-	hits, misses, uncached uint64
+	hits, misses, uncached    uint64
+	diskHits, diskStoreErrors uint64
 }
 
 // NewRunCache returns an empty cache.
@@ -97,9 +124,18 @@ func NewRunCache() *RunCache {
 	return &RunCache{entries: make(map[string]*cacheEntry)}
 }
 
+// SetStore layers a persistent store under the cache (nil detaches it).
+// Entries already resident in memory are unaffected.
+func (c *RunCache) SetStore(s ResultStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+}
+
 // Stats reports how many Run/Sweep points were served from cache (hits),
 // executed and stored (misses), and executed uncached because the scenario
-// has no fingerprint (uncacheable).
+// has no fingerprint (uncacheable). In-memory misses that a persistent store
+// satisfied count as misses here and as hits in StoreStats.
 func (c *RunCache) Stats() (hits, misses, uncacheable uint64) {
 	if c == nil {
 		return 0, 0, 0
@@ -109,8 +145,20 @@ func (c *RunCache) Stats() (hits, misses, uncacheable uint64) {
 	return c.hits, c.misses, c.uncached
 }
 
+// StoreStats reports the persistent layer's traffic: in-memory misses served
+// from the store, and Store calls that failed (failures are logged in the
+// stats only — a broken disk must not fail runs).
+func (c *RunCache) StoreStats() (storeHits, storeErrors uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskHits, c.diskStoreErrors
+}
+
 // claim returns the entry for key and whether this caller owns its
-// execution (true exactly once per key).
+// execution (true exactly once per key while the entry lives).
 func (c *RunCache) claim(key string) (*cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -124,10 +172,76 @@ func (c *RunCache) claim(key string) (*cacheEntry, bool) {
 	return e, true
 }
 
+// evict removes key's entry if it is still e — a failed execution must not
+// negative-cache, so the next claim retries the scenario.
+func (c *RunCache) evict(key string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] == e {
+		delete(c.entries, key)
+	}
+}
+
+// finish resolves an owned entry: on failure the entry is evicted (no
+// negative caching), on success it is offered to the persistent store; either
+// way the waiters are released. It runs from the owner's defer so a panic in
+// the run still unblocks every waiter.
+func (c *RunCache) finish(key string, e *cacheEntry) {
+	if e.err != nil {
+		c.evict(key, e)
+	} else if e.res != nil && !e.res.fromStore {
+		c.storeResult(key, e.res)
+	}
+	close(e.done)
+}
+
+// loadStored consults the persistent store for key (nil-safe).
+func (c *RunCache) loadStored(key string) (*Result, bool) {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
+		return nil, false
+	}
+	res, ok, err := store.Load(key)
+	if err != nil || !ok || res == nil {
+		return nil, false
+	}
+	res.fromStore = true
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return res, true
+}
+
+// storeResult offers a fresh Result to the persistent store (nil-safe,
+// best-effort).
+func (c *RunCache) storeResult(key string, res *Result) {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
+		return
+	}
+	if err := store.Store(key, res); err != nil {
+		c.mu.Lock()
+		c.diskStoreErrors++
+		c.mu.Unlock()
+	}
+}
+
 // Run executes the scenario through the cache: a fingerprint hit returns the
 // cached (shared, read-only) Result, a miss runs and stores it, and
 // unfingerprintable scenarios fall through to a plain Run.
 func (c *RunCache) Run(sc Scenario) (*Result, error) {
+	return c.RunContext(context.Background(), sc)
+}
+
+// RunContext is Run under a supervising context. The owner of a miss runs
+// with ctx; waiters stop waiting when their own ctx trips (the claimed
+// execution keeps running for whoever else wants it). A cancelled or failed
+// execution is evicted, never negative-cached.
+func (c *RunCache) RunContext(ctx context.Context, sc Scenario) (res *Result, err error) {
 	key, ok := sc.Fingerprint()
 	if c == nil || !ok {
 		if c != nil {
@@ -135,72 +249,147 @@ func (c *RunCache) Run(sc Scenario) (*Result, error) {
 			c.uncached++
 			c.mu.Unlock()
 		}
-		return Run(sc)
+		return cachedRunner(ctx, sc)
 	}
 	e, owner := c.claim(key)
 	if !owner {
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctxErr(ctx)
+		}
 	}
-	e.res, e.err = Run(sc)
-	close(e.done)
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = &PanicError{Value: r, Fingerprint: key, Stack: stackTrace()}
+			e.res = nil
+			res, err = nil, e.err
+		}
+		c.finish(key, e)
+	}()
+	if stored, ok := c.loadStored(key); ok {
+		e.res = stored
+	} else {
+		e.res, e.err = cachedRunner(ctx, sc)
+	}
 	return e.res, e.err
 }
 
-// Sweep is SweepParallel through the cache: points whose fingerprint is
-// already cached (or claimed by a concurrent caller) are not re-run; only
-// the missing pulse counts execute, as one fork-amortized parallel sweep.
-// Unfingerprintable scenarios fall through to a plain SweepParallel.
+// Sweep is SweepParallel through the cache; see SweepContext.
 func (c *RunCache) Sweep(base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
+	return c.SweepContext(context.Background(), base, pulses, workers)
+}
+
+// SweepContext is SweepParallelContext through the cache: points whose
+// fingerprint is already cached (in memory or in the persistent store, or
+// claimed by a concurrent caller) are not re-run; only the missing pulse
+// counts execute, as one fork-amortized parallel sweep. Failure is per-point
+// exactly as in SweepParallelContext — a failed or cancelled point carries
+// its error, is evicted from the cache (so a retry re-runs it), and never
+// discards the other points. Unfingerprintable scenarios fall through to a
+// plain SweepParallelContext.
+func (c *RunCache) SweepContext(ctx context.Context, base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
 	if c == nil {
-		return SweepParallel(base, pulses, workers)
+		return SweepParallelContext(ctx, base, pulses, workers)
 	}
 	baseKey, ok := base.fingerprintBase()
 	if !ok {
 		c.mu.Lock()
 		c.uncached += uint64(len(pulses))
 		c.mu.Unlock()
-		return SweepParallel(base, pulses, workers)
+		return SweepParallelContext(ctx, base, pulses, workers)
 	}
+	keys := make([]string, len(pulses))
 	entries := make([]*cacheEntry, len(pulses))
 	var missPulses []int
+	var missKeys []string
 	var missEntries []*cacheEntry
 	for i, n := range pulses {
-		e, owner := c.claim(fmt.Sprintf("%s:p%d", baseKey, n))
+		keys[i] = fmt.Sprintf("%s:p%d", baseKey, n)
+		e, owner := c.claim(keys[i])
 		entries[i] = e
-		if owner {
-			missPulses = append(missPulses, n)
-			missEntries = append(missEntries, e)
-		}
-	}
-	if len(missPulses) > 0 {
-		pts, err := SweepParallel(base, missPulses, workers)
-		if err != nil {
-			// Fill every claimed entry so concurrent waiters unblock instead
-			// of deadlocking on a result that will never arrive.
-			for _, e := range missEntries {
-				e.err = err
-				close(e.done)
-			}
-			return nil, err
-		}
-		for j, e := range missEntries {
-			e.res = pts[j].Result
-			close(e.done)
-		}
-	}
-	out := make([]SweepPoint, len(pulses))
-	var errs []error
-	for i, e := range entries {
-		<-e.done
-		if e.err != nil {
-			errs = append(errs, fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], e.err))
+		if !owner {
 			continue
 		}
-		out[i] = SweepPoint{Pulses: pulses[i], Result: e.res}
+		if stored, ok := c.loadStored(keys[i]); ok {
+			e.res = stored
+			c.finish(keys[i], e)
+			continue
+		}
+		missPulses = append(missPulses, n)
+		missKeys = append(missKeys, keys[i])
+		missEntries = append(missEntries, e)
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	if len(missPulses) > 0 {
+		// Release every claimed entry via defer: a panic on the sweep path
+		// must unblock concurrent waiters, not hang them.
+		released := false
+		release := func(panicked any) {
+			released = true
+			for j, e := range missEntries {
+				if e.res == nil && e.err == nil {
+					if panicked != nil {
+						e.err = &PanicError{Value: panicked, Fingerprint: missKeys[j], Stack: stackTrace()}
+					} else {
+						e.err = fmt.Errorf("experiment: sweep did not produce n=%d", missPulses[j])
+					}
+				}
+				c.finish(missKeys[j], e)
+			}
+		}
+		defer func() {
+			if released {
+				return
+			}
+			var panicked any
+			if r := recover(); r != nil {
+				panicked = r
+				release(panicked)
+				panic(r)
+			}
+			release(nil)
+		}()
+		pts, err := SweepParallelContext(ctx, base, missPulses, workers)
+		if err == nil || pts != nil {
+			for j, e := range missEntries {
+				e.res, e.err = pts[j].Result, pts[j].Err
+			}
+		} else {
+			// Sweep-level failure before any point ran (e.g. the shared
+			// warm-up): every claimed point fails with it.
+			for _, e := range missEntries {
+				e.err = err
+			}
+		}
+		release(nil)
 	}
-	return out, nil
+	out := make([]SweepPoint, len(pulses))
+	errs := make([]error, 0, len(pulses))
+	for i, e := range entries {
+		out[i].Pulses = pulses[i]
+		// Prefer a resolved entry over a tripped context: after a mid-flight
+		// cancel both channels may be ready, and the entry's own outcome (a
+		// result, a panic, the point-level cancel) is the truer diagnosis.
+		select {
+		case <-e.done:
+			out[i].Result, out[i].Err = e.res, e.err
+		default:
+			select {
+			case <-e.done:
+				out[i].Result, out[i].Err = e.res, e.err
+			case <-ctx.Done():
+				out[i].Err = ctxErr(ctx)
+			}
+		}
+		if out[i].Err != nil {
+			// Keep the pulse count in the diagnosis; points that already
+			// carry it (the sweep's own errors) are left as-is.
+			if _, isPanic := out[i].Err.(*PanicError); isPanic {
+				out[i].Err = fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], out[i].Err)
+			}
+			errs = append(errs, out[i].Err)
+		}
+	}
+	return out, errors.Join(errs...)
 }

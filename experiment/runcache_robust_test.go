@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// swapCachedRunner installs fn as the cache's run function for the test.
+// The hook exists because a deterministic scenario cannot fail transiently
+// on cue; it is restored (and the default behaviour re-verified) on cleanup.
+func swapCachedRunner(t *testing.T, fn func(context.Context, Scenario) (*Result, error)) {
+	t.Helper()
+	orig := cachedRunner
+	cachedRunner = fn
+	t.Cleanup(func() { cachedRunner = orig })
+}
+
+func swapPointRunner(t *testing.T, fn func(context.Context, *Checkpoint, Scenario) (*Result, error)) {
+	t.Helper()
+	orig := pointRunner
+	pointRunner = fn
+	t.Cleanup(func() { pointRunner = orig })
+}
+
+// TestRunCacheRetriesAfterError is the negative-caching regression test: a
+// scenario that fails once and then succeeds must succeed on the second call
+// through the cache — the failed entry is evicted, not served forever.
+func TestRunCacheRetriesAfterError(t *testing.T) {
+	sc := cancelScenario(t, 1)
+	var calls atomic.Int64
+	swapCachedRunner(t, func(ctx context.Context, s Scenario) (*Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("injected transient failure")
+		}
+		return RunContext(ctx, s)
+	})
+	c := NewRunCache()
+	if _, err := c.Run(sc); err == nil {
+		t.Fatal("first run should have failed")
+	}
+	res, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("second run still failing: %v (negative caching?)", err)
+	}
+	if res == nil || calls.Load() != 2 {
+		t.Fatalf("second run did not re-execute (calls=%d)", calls.Load())
+	}
+	// Third call: a genuine cache hit, no third execution.
+	if _, err := c.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("successful result was not cached (calls=%d)", calls.Load())
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats = hits %d misses %d, want 1/2", hits, misses)
+	}
+}
+
+// TestRunCacheSweepRetriesAfterError is the same regression on the Sweep
+// miss path: a point that fails transiently must be evicted and re-run by a
+// later sweep.
+func TestRunCacheSweepRetriesAfterError(t *testing.T) {
+	base := cancelScenario(t, 0)
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	swapPointRunner(t, func(ctx context.Context, cp *Checkpoint, sc Scenario) (*Result, error) {
+		if sc.Pulses == 1 && failOnce.Swap(false) {
+			return nil, errors.New("injected transient failure")
+		}
+		return cp.RunContext(ctx, sc)
+	})
+	c := NewRunCache()
+	pts, err := c.Sweep(base, []int{0, 1, 2}, 2)
+	if err == nil {
+		t.Fatal("first sweep should have reported the injected failure")
+	}
+	// Partial results: the two healthy points still landed.
+	if pts[0].Result == nil || pts[2].Result == nil {
+		t.Fatal("healthy points discarded alongside the failing one")
+	}
+	pts, err = c.Sweep(base, []int{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatalf("second sweep still failing: %v (negative caching?)", err)
+	}
+	for _, p := range pts {
+		if p.Err != nil || p.Result == nil {
+			t.Fatalf("point n=%d still bad after retry: %v", p.Pulses, p.Err)
+		}
+	}
+	// The healthy points must have come from cache, only n=1 re-ran.
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 4 {
+		t.Errorf("stats = hits %d misses %d, want 2 hits (n=0,2) and 4 misses (3 first sweep + 1 retry)", hits, misses)
+	}
+}
+
+// TestRunCachePanicUnblocksWaiters is the waiter-deadlock regression: when
+// the owning run panics, concurrent waiters on the same fingerprint must be
+// released with an error — not hang forever — and the key must stay usable.
+func TestRunCachePanicUnblocksWaiters(t *testing.T) {
+	sc := cancelScenario(t, 1)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	swapCachedRunner(t, func(ctx context.Context, s Scenario) (*Result, error) {
+		if calls.Add(1) == 1 {
+			<-release // hold until the waiters have queued up
+			panic("injected owner panic")
+		}
+		return RunContext(ctx, s)
+	})
+	c := NewRunCache()
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		defer func() { recover() }() // the owner's own panic is re-surfaced as an error, not a panic
+		_, err := c.Run(sc)
+		ownerErr <- err
+	}()
+	// Wait for the owner to claim, then pile on waiters.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	waiterErrs := make([]error, 3)
+	for i := range waiterErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, waiterErrs[i] = c.Run(sc)
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the waiters block on the entry
+	close(release)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters still blocked 10 s after the owner panicked — deadlock")
+	}
+	err := <-ownerErr
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("owner error = %v, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 || pe.Fingerprint == "" {
+		t.Error("owner PanicError missing stack or fingerprint")
+	}
+	for i, werr := range waiterErrs {
+		if !errors.As(werr, &pe) {
+			t.Errorf("waiter %d error = %v, want *PanicError", i, werr)
+		}
+	}
+	// The panicked entry must have been evicted: a fresh call re-runs and
+	// succeeds.
+	res, err := c.Run(sc)
+	if err != nil || res == nil {
+		t.Fatalf("run after panic eviction failed: %v", err)
+	}
+}
+
+// TestRunCacheWaiterHonorsOwnContext: a waiter whose own context trips while
+// the owner is still running returns the typed cancel without waiting for
+// the owner.
+func TestRunCacheWaiterHonorsOwnContext(t *testing.T) {
+	sc := cancelScenario(t, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	swapCachedRunner(t, func(ctx context.Context, s Scenario) (*Result, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return RunContext(ctx, s)
+	})
+	c := NewRunCache()
+	go c.Run(sc) //nolint:errcheck — owner outcome is not under test
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waited := make(chan error, 1)
+	go func() {
+		_, err := c.RunContext(ctx, sc)
+		waited <- err
+	}()
+	cancel()
+	select {
+	case err := <-waited:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("waiter error = %v, want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(release)
+	// Let the owner finish so no goroutine outlives the test hooks.
+	for {
+		if hits, misses, _ := c.Stats(); hits+misses >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunCacheCanceledRunEvicted: a cancelled owner must not poison the
+// fingerprint — the next caller re-runs and succeeds.
+func TestRunCacheCanceledRunEvicted(t *testing.T) {
+	sc := cancelScenario(t, 1)
+	c := NewRunCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunContext(ctx, sc); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancelled run error = %v, want ErrCanceled", err)
+	}
+	res, err := c.Run(sc)
+	if err != nil || res == nil {
+		t.Fatalf("run after cancelled owner failed: %v (canceled result negative-cached?)", err)
+	}
+}
+
+// chaosStore records Store/Load traffic so the chaos test can assert the
+// persistent layer stayed intact; it also serves one deliberately corrupted
+// load to prove corruption is survived (the real corruption machinery is
+// covered in diskcache's own tests — here the contract is "a store that
+// reports a miss-with-error does not fail the run").
+type chaosStore struct {
+	mu      sync.Mutex
+	entries map[string]*Result
+	loads   int
+	stores  int
+}
+
+func (s *chaosStore) Load(key string) (*Result, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	if res, ok := s.entries[key]; ok {
+		return res, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *chaosStore) Store(key string, res *Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[string]*Result)
+	}
+	s.stores++
+	s.entries[key] = res
+	return nil
+}
+
+// TestChaosSweep is the acceptance chaos test: one cached sweep under
+// injected run panics, transient errors and a mid-flight cancel. Every
+// unaffected point must come back, the transient failures must retry through
+// the cache (no negative caching), and the persistent store must end up
+// intact — holding exactly the successful points.
+func TestChaosSweep(t *testing.T) {
+	base := cancelScenario(t, 0)
+	pulses := PulseRange(0, 9)
+
+	// Chaos plan, seeded and deterministic: n=2 panics on its first attempt,
+	// n=4 fails transiently on its first attempt, n=7 is slow and gets
+	// cancelled mid-flight on the first sweep. Second and third sweeps run
+	// with no chaos.
+	var panicsLeft, failsLeft atomic.Int64
+	panicsLeft.Store(1)
+	failsLeft.Store(1)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	cancelArmed := make(chan struct{}, 1)
+	swapPointRunner(t, func(ctx context.Context, cp *Checkpoint, sc Scenario) (*Result, error) {
+		switch sc.Pulses {
+		case 2:
+			if panicsLeft.Add(-1) >= 0 {
+				panic(fmt.Sprintf("chaos: injected panic at n=%d", sc.Pulses))
+			}
+		case 4:
+			if failsLeft.Add(-1) >= 0 {
+				return nil, errors.New("chaos: injected transient error")
+			}
+		case 7:
+			select {
+			case cancelArmed <- struct{}{}:
+				// First visit: trigger the mid-flight cancel, then proceed —
+				// the run itself observes the tripped context.
+				cancel1()
+			default:
+			}
+		}
+		return cp.RunContext(ctx, sc)
+	})
+
+	store := &chaosStore{}
+	c := NewRunCache()
+	c.SetStore(store)
+
+	// Sweep 1: chaos. The cancel fires when n=7 starts, so some points may
+	// be cancelled; n=2 panics; n=4 fails transiently.
+	pts, err := c.SweepContext(ctx1, base, pulses, 3)
+	if err == nil {
+		t.Fatal("chaos sweep reported no error")
+	}
+	if len(pts) != len(pulses) {
+		t.Fatalf("chaos sweep returned %d points, want %d", len(pts), len(pulses))
+	}
+	completed := 0
+	for i, p := range pts {
+		if p.Pulses != pulses[i] {
+			t.Fatalf("point %d is n=%d, want %d (order lost)", i, p.Pulses, pulses[i])
+		}
+		switch {
+		case p.Result != nil && p.Err == nil:
+			completed++
+		case p.Err == nil:
+			t.Errorf("point n=%d has neither result nor error", p.Pulses)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no unaffected point survived the chaos sweep")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Error("joined chaos error does not surface the injected panic")
+	}
+
+	// Sweep 2: no more chaos, fresh context. Everything must heal: the
+	// panicked, failed and cancelled points all retry (their entries were
+	// evicted), the completed points come from cache.
+	pts, err = c.Sweep(base, pulses, 3)
+	if err != nil {
+		t.Fatalf("post-chaos sweep failed: %v", err)
+	}
+	for _, p := range pts {
+		if p.Err != nil || p.Result == nil {
+			t.Fatalf("point n=%d did not heal: %v", p.Pulses, p.Err)
+		}
+	}
+
+	// The persistent store holds every point exactly once; a third sweep
+	// through a cold in-memory cache is served entirely from the store.
+	store.mu.Lock()
+	stored := len(store.entries)
+	store.mu.Unlock()
+	if stored != len(pulses) {
+		t.Errorf("store holds %d entries, want %d", stored, len(pulses))
+	}
+	c2 := NewRunCache()
+	c2.SetStore(store)
+	pts2, err := c2.Sweep(base, pulses, 3)
+	if err != nil {
+		t.Fatalf("store-served sweep failed: %v", err)
+	}
+	for i, p := range pts2 {
+		if p.Result == nil {
+			t.Fatalf("store-served point n=%d missing", p.Pulses)
+		}
+		if p.Result.MessageCount != pts[i].Result.MessageCount ||
+			p.Result.ConvergenceTime != pts[i].Result.ConvergenceTime {
+			t.Errorf("store-served point n=%d differs from computed", p.Pulses)
+		}
+	}
+	if storeHits, _ := c2.StoreStats(); storeHits != uint64(len(pulses)) {
+		t.Errorf("cold cache store hits = %d, want %d", storeHits, len(pulses))
+	}
+}

@@ -15,6 +15,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -175,16 +177,40 @@ type Result struct {
 	// report here is always clean; it still carries the sweep/oracle
 	// coverage counters.
 	Check *check.Report
+
+	// fromStore marks a Result loaded from a persistent ResultStore, so the
+	// RunCache does not write it straight back to disk.
+	fromStore bool
 }
 
 // Run executes the scenario and returns its measurements. The run is a pure
 // function of the scenario (deterministic).
 func Run(sc Scenario) (*Result, error) {
-	n, origin, err := converge(sc)
+	return RunContext(context.Background(), sc)
+}
+
+// RunContext is Run under a supervising context: the kernel polls ctx at an
+// amortized granularity (sim.StopCheckInterval events) during warm-up, the
+// pulse loop and the drain, and a tripped context stops the run with a typed
+// ErrCanceled or ErrBudgetExceeded. An un-tripped context changes nothing —
+// the run stays byte-identical to Run(sc), because the cooperative stop check
+// only reads the context and never touches simulation state.
+func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
+	n, origin, err := converge(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	return measure(sc, n, origin)
+	return measure(ctx, sc, n, origin)
+}
+
+// wrapInterrupt maps a kernel/watchdog stop caused by the context into the
+// package's typed error, and passes every other error through with the stage
+// prefix.
+func wrapInterrupt(ctx context.Context, stage string, err error) error {
+	if ctx.Err() != nil && errors.Is(err, sim.ErrInterrupted) {
+		return fmt.Errorf("experiment: %s: %w", stage, ctxErr(ctx))
+	}
+	return fmt.Errorf("experiment: %s: %w", stage, err)
 }
 
 // converge validates the scenario and executes its warm-up phase: build the
@@ -194,7 +220,7 @@ func Run(sc Scenario) (*Result, error) {
 // simulation starts, every node learns a stable route to the originAS").
 // The returned network is quiescent and ready for measure — or for a
 // bgp.Snapshot, which is how sweeps amortize this phase across pulse counts.
-func converge(sc Scenario) (*bgp.Network, bgp.RouterID, error) {
+func converge(ctx context.Context, sc Scenario) (*bgp.Network, bgp.RouterID, error) {
 	if err := sc.validate(); err != nil {
 		return nil, 0, err
 	}
@@ -218,8 +244,8 @@ func converge(sc Scenario) (*bgp.Network, bgp.RouterID, error) {
 	}
 
 	n.Router(origin).Originate(FlapPrefix)
-	if err := k.Run(); err != nil {
-		return nil, 0, fmt.Errorf("experiment: warm-up: %w", err)
+	if err := k.RunContext(ctx); err != nil {
+		return nil, 0, wrapInterrupt(ctx, "warm-up", err)
 	}
 	n.ResetDamping()
 	n.ResetCounters()
@@ -230,7 +256,7 @@ func converge(sc Scenario) (*bgp.Network, bgp.RouterID, error) {
 // network (fresh from converge, or a fork of a converged checkpoint) and
 // computes the Result. It installs the measurement hooks, brings the fault
 // apparatus alive at the epoch, runs the pulse workload and drains.
-func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) {
+func measure(ctx context.Context, sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) {
 	k := n.Kernel()
 	interval := sc.FlapInterval
 	if interval == 0 {
@@ -352,16 +378,16 @@ func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) 
 			if err := flapDown(); err != nil {
 				return nil, fmt.Errorf("experiment: pulse %d down: %w", i+1, err)
 			}
-			if err := k.RunUntil(k.Now() + interval); err != nil {
-				return nil, fmt.Errorf("experiment: pulse %d: %w", i+1, err)
+			if err := k.RunUntilContext(ctx, k.Now()+interval); err != nil {
+				return nil, wrapInterrupt(ctx, fmt.Sprintf("pulse %d", i+1), err)
 			}
 			if err := flapUp(); err != nil {
 				return nil, fmt.Errorf("experiment: pulse %d up: %w", i+1, err)
 			}
 			res.FlapEnd = k.Now() - epoch
 			if i < sc.Pulses-1 {
-				if err := k.RunUntil(k.Now() + interval); err != nil {
-					return nil, fmt.Errorf("experiment: pulse %d: %w", i+1, err)
+				if err := k.RunUntilContext(ctx, k.Now()+interval); err != nil {
+					return nil, wrapInterrupt(ctx, fmt.Sprintf("pulse %d", i+1), err)
 				}
 			}
 		}
@@ -372,13 +398,19 @@ func measure(sc Scenario, n *bgp.Network, origin bgp.RouterID) (*Result, error) 
 	// quiescent-instant consistency checks and a livelock abort instead of
 	// burning the kernel's whole event budget.
 	if sc.Watchdog != nil {
-		rep := faults.Watch(n, *sc.Watchdog)
+		rep := faults.WatchContext(ctx, n, *sc.Watchdog)
 		res.FaultReport = rep
+		if rep.Outcome == faults.Aborted {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("experiment: drain: %w", ctxErr(ctx))
+			}
+			return nil, fmt.Errorf("experiment: drain: %w: %w", ErrBudgetExceeded, rep.Err)
+		}
 		if rep.Outcome == faults.Livelock {
 			return nil, fmt.Errorf("experiment: drain: %s", rep)
 		}
-	} else if err := k.Run(); err != nil {
-		return nil, fmt.Errorf("experiment: drain: %w", err)
+	} else if err := k.RunContext(ctx); err != nil {
+		return nil, wrapInterrupt(ctx, "drain", err)
 	}
 	if chk != nil {
 		res.Check = chk.Finish()
@@ -424,7 +456,13 @@ type Checkpoint struct {
 // graph, ISP and Config; measurement-phase fields (Pulses, FlapInterval,
 // Watch, Trace, Impair, Faults, Watchdog) take effect in Checkpoint.Run.
 func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
-	n, origin, err := converge(sc)
+	return NewCheckpointContext(context.Background(), sc)
+}
+
+// NewCheckpointContext is NewCheckpoint with the warm-up run under ctx; a
+// tripped context stops it with a typed ErrCanceled / ErrBudgetExceeded.
+func NewCheckpointContext(ctx context.Context, sc Scenario) (*Checkpoint, error) {
+	n, origin, err := converge(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -440,6 +478,14 @@ func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
 // describe the same warm-up the checkpoint was built from (same Graph, ISP
 // and Config); only the measurement-phase fields may differ between calls.
 func (c *Checkpoint) Run(sc Scenario) (*Result, error) {
+	return c.RunContext(context.Background(), sc)
+}
+
+// RunContext is Run with the measurement phase supervised by ctx, exactly as
+// RunContext at package level: amortized cooperative stop checks, typed
+// ErrCanceled / ErrBudgetExceeded, byte-identical results when the context
+// never trips.
+func (c *Checkpoint) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -447,7 +493,7 @@ func (c *Checkpoint) Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: checkpoint fork: %w", err)
 	}
-	return measure(sc, n, c.origin)
+	return measure(ctx, sc, n, c.origin)
 }
 
 // ConvergenceSpread summarizes how long after the final announcement each

@@ -1,9 +1,13 @@
 package faults
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
+
+	"rfd/bgp"
 )
 
 func TestWatchdogConverges(t *testing.T) {
@@ -124,5 +128,75 @@ func TestWatchdogRestoresTrace(t *testing.T) {
 	k.Step()
 	if calls != before+1 {
 		t.Fatalf("trace observer not restored after Watch (calls %d, want %d)", calls, before+1)
+	}
+}
+
+// rearmNet builds a network whose queue never drains (a self-rearming event),
+// so only a budget or an abort can end the watch.
+func rearmNet(t *testing.T) (*bgp.Network, func()) {
+	t.Helper()
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var rearm func()
+	rearm = func() { k.At(k.Now()+time.Millisecond, "test.rearm", rearm) }
+	return n, rearm
+}
+
+func TestWatchdogAbortsOnCancel(t *testing.T) {
+	n, rearm := rearmNet(t)
+	rearm()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := WatchContext(ctx, n, WatchdogConfig{MaxEvents: 1_000_000, Recent: 4})
+	if rep.Outcome != Aborted {
+		t.Fatalf("report = %s, want aborted", rep)
+	}
+	if !errors.Is(rep.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want to wrap context.Canceled", rep.Err)
+	}
+	// The cancel is polled amortized: the watch must stop within one poll
+	// interval, not run anywhere near the event budget.
+	if rep.Events > wallCheckInterval {
+		t.Fatalf("aborted watch stepped %d events, want at most the %d-event poll interval", rep.Events, wallCheckInterval)
+	}
+}
+
+func TestWatchdogAbortsOnWallBudget(t *testing.T) {
+	n, rearm := rearmNet(t)
+	rearm()
+	rep := Watch(n, WatchdogConfig{MaxEvents: 1_000_000_000, Recent: 4, WallBudget: time.Nanosecond})
+	if rep.Outcome != Aborted {
+		t.Fatalf("report = %s, want aborted", rep)
+	}
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "wall budget") {
+		t.Fatalf("Err = %v, want wall budget exhaustion", rep.Err)
+	}
+	// A nanosecond budget trips on the entry poll, before any event fires —
+	// the abort must be immediate, which also means the ring can be empty.
+	if rep.Events != 0 {
+		t.Fatalf("aborted watch stepped %d events under a nanosecond budget", rep.Events)
+	}
+	if rep.Outcome.String() != "aborted" {
+		t.Fatalf("Outcome.String() = %q", rep.Outcome)
+	}
+}
+
+// TestWatchContextUncancelledMatchesWatch: threading a live context changes
+// nothing about a healthy run.
+func TestWatchContextUncancelledMatchesWatch(t *testing.T) {
+	k, n := buildNet(t, 3)
+	n.Router(0).Originate(testPrefix)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	epoch := k.Now()
+	k.At(epoch+time.Second, "test.flapdown", func() { n.Router(0).StopOriginating(testPrefix) })
+	k.At(epoch+2*time.Second, "test.flapup", func() { n.Router(0).Originate(testPrefix) })
+	rep := WatchContext(context.Background(), n, WatchdogConfig{WallBudget: time.Hour})
+	if rep.Outcome != Converged || rep.Err != nil {
+		t.Fatalf("report = %s, want converged", rep)
 	}
 }

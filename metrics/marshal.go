@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file gives the three series types a stable binary wire form so a
+// Result embedding them can be persisted (the experiment/diskcache package
+// gob-encodes Results; gob uses these implementations via the
+// encoding.BinaryMarshaler / BinaryUnmarshaler interfaces). The format is a
+// one-byte version tag, a little-endian uint64 count, then fixed-width
+// little-endian payloads — no varints, so corruption detection upstream
+// (the disk cache's content hash) is the only integrity layer needed here,
+// and a decoder can cheaply pre-validate the length.
+
+const (
+	seriesVersion = 1
+	seriesHeader  = 1 + 8 // version byte + count
+)
+
+// marshalHeader validates the payload shape shared by all three series:
+// version tag, count, and an exact body of count*stride bytes.
+func unmarshalHeader(kind string, data []byte, stride int) (n int, body []byte, err error) {
+	if len(data) < seriesHeader {
+		return 0, nil, fmt.Errorf("metrics: %s: truncated header (%d bytes)", kind, len(data))
+	}
+	if data[0] != seriesVersion {
+		return 0, nil, fmt.Errorf("metrics: %s: unknown version %d", kind, data[0])
+	}
+	count := binary.LittleEndian.Uint64(data[1:9])
+	if count > uint64(math.MaxInt) {
+		return 0, nil, fmt.Errorf("metrics: %s: implausible count %d", kind, count)
+	}
+	n = int(count)
+	body = data[seriesHeader:]
+	if len(body) != n*stride {
+		return 0, nil, fmt.Errorf("metrics: %s: body is %d bytes, want %d for %d entries",
+			kind, len(body), n*stride, n)
+	}
+	return n, body, nil
+}
+
+func appendHeader(buf []byte, n int) []byte {
+	buf = append(buf, seriesVersion)
+	return binary.LittleEndian.AppendUint64(buf, uint64(n))
+}
+
+// MarshalBinary encodes the event times (8 bytes each).
+func (s *EventSeries) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(make([]byte, 0, seriesHeader+8*len(s.times)), len(s.times))
+	for _, t := range s.times {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the series with the encoded one. The
+// nondecreasing-order invariant is revalidated — a decoded series must be as
+// trustworthy as a recorded one.
+func (s *EventSeries) UnmarshalBinary(data []byte) error {
+	n, body, err := unmarshalHeader("event series", data, 8)
+	if err != nil {
+		return err
+	}
+	times := make([]time.Duration, n)
+	for i := range times {
+		times[i] = time.Duration(binary.LittleEndian.Uint64(body[8*i:]))
+		if i > 0 && times[i] < times[i-1] {
+			return fmt.Errorf("metrics: event series: out-of-order time at entry %d", i)
+		}
+	}
+	s.times = times
+	return nil
+}
+
+// MarshalBinary encodes the change points (16 bytes each: time, value).
+func (s *StepSeries) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(make([]byte, 0, seriesHeader+16*len(s.points)), len(s.points))
+	for _, p := range s.points {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.At))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Value))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the series with the encoded one, revalidating the
+// strictly-increasing time invariant Record maintains.
+func (s *StepSeries) UnmarshalBinary(data []byte) error {
+	n, body, err := unmarshalHeader("step series", data, 16)
+	if err != nil {
+		return err
+	}
+	points := make([]StepPoint, n)
+	for i := range points {
+		points[i].At = time.Duration(binary.LittleEndian.Uint64(body[16*i:]))
+		points[i].Value = int(int64(binary.LittleEndian.Uint64(body[16*i+8:])))
+		if i > 0 && points[i].At <= points[i-1].At {
+			return fmt.Errorf("metrics: step series: non-increasing time at entry %d", i)
+		}
+	}
+	s.points = points
+	return nil
+}
+
+// MarshalBinary encodes the samples (16 bytes each: time, IEEE-754 value).
+func (s *FloatSeries) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(make([]byte, 0, seriesHeader+16*len(s.points)), len(s.points))
+	for _, p := range s.points {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.At))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Value))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the series with the encoded one, revalidating the
+// nondecreasing time invariant.
+func (s *FloatSeries) UnmarshalBinary(data []byte) error {
+	n, body, err := unmarshalHeader("float series", data, 16)
+	if err != nil {
+		return err
+	}
+	points := make([]FloatPoint, n)
+	for i := range points {
+		points[i].At = time.Duration(binary.LittleEndian.Uint64(body[16*i:]))
+		points[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(body[16*i+8:]))
+		if i > 0 && points[i].At < points[i-1].At {
+			return fmt.Errorf("metrics: float series: out-of-order time at entry %d", i)
+		}
+	}
+	s.points = points
+	return nil
+}
