@@ -116,40 +116,62 @@ func TestSendPathDoesNotAllocate(t *testing.T) {
 // path combinations (amortized zero, but not the exact zero a regression
 // test needs).
 func TestFlapSteadyStateDoesNotAllocate(t *testing.T) {
-	g, err := topology.Torus(3, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	params := damping.Cisco()
-	cfg := DefaultConfig()
-	cfg.Seed = 7
-	cfg.Damping = &params
-	cfg.MRAIJitter = false
-	cfg.MinProcDelay = 5 * time.Millisecond
-	cfg.MaxProcDelay = 5 * time.Millisecond
-	k := sim.NewKernel(sim.WithSeed(7))
-	n, err := NewNetwork(k, g, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	origin := n.Router(4)
-	origin.Originate(allocPrefix)
-	if err := k.Run(); err != nil {
-		t.Fatal(err)
-	}
-	pulse := func() {
-		origin.StopOriginating(allocPrefix)
-		for k.Step() {
-		}
-		origin.Originate(allocPrefix)
-		for k.Step() {
-		}
-	}
-	for i := 0; i < 4; i++ { // explore all alternate paths, warm all slabs
-		pulse()
-	}
-	allocs := testing.AllocsPerRun(20, pulse)
-	if allocs != 0 {
-		t.Errorf("steady-state flap pulse allocates %.1f per run, want 0", allocs)
+	for _, tc := range []struct {
+		name   string
+		adjust func(*Config)
+	}{
+		{"exact", func(*Config) {}},
+		// The wheel leg pins the whole timer-wheel path — quantized decay,
+		// reuse-list enrollment, the batch sweep timer, reuse lifts — as
+		// allocation-free too. A small ring lets the warm-up pulses touch
+		// (and size) every reuse list; under the default 722-list ring each
+		// pulse would enroll into cold buckets and their one-time append
+		// growth would read as steady-state allocation.
+		{"wheel", func(cfg *Config) {
+			cfg.DampingEngine = damping.EngineWheel
+			cfg.WheelConfig = damping.WheelConfig{
+				DeltaT: time.Second, DeltaTReuse: 5 * time.Second, MaxLists: 8,
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := topology.Torus(3, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := damping.Cisco()
+			cfg := DefaultConfig()
+			cfg.Seed = 7
+			cfg.Damping = &params
+			cfg.MRAIJitter = false
+			cfg.MinProcDelay = 5 * time.Millisecond
+			cfg.MaxProcDelay = 5 * time.Millisecond
+			tc.adjust(&cfg)
+			k := sim.NewKernel(sim.WithSeed(7))
+			n, err := NewNetwork(k, g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origin := n.Router(4)
+			origin.Originate(allocPrefix)
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			pulse := func() {
+				origin.StopOriginating(allocPrefix)
+				for k.Step() {
+				}
+				origin.Originate(allocPrefix)
+				for k.Step() {
+				}
+			}
+			for i := 0; i < 4; i++ { // explore all alternate paths, warm all slabs
+				pulse()
+			}
+			allocs := testing.AllocsPerRun(20, pulse)
+			if allocs != 0 {
+				t.Errorf("steady-state flap pulse allocates %.1f per run, want 0", allocs)
+			}
+		})
 	}
 }

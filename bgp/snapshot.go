@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"rfd/damping"
 	"rfd/rcn"
 	"rfd/sim"
 )
@@ -135,6 +136,7 @@ func (n *Network) fork() (*Network, error) {
 	for id := range n.routers {
 		remap[&n.routers[id].mraiH] = &f.routers[id].mraiH
 		remap[&n.routers[id].reuseH] = &f.routers[id].reuseH
+		remap[&n.routers[id].sweepH] = &f.routers[id].sweepH
 	}
 	if err := k2.RemapHandlers(func(h sim.Handler) sim.Handler { return remap[h] }); err != nil {
 		return nil, fmt.Errorf("bgp: fork: %w", err)
@@ -162,11 +164,24 @@ func (r *Router) forkInto(f *Network, k2 *sim.Kernel) *Router {
 		sequencers: make([]*rcn.Sequencer, len(r.sequencers)),
 		linkSeq:    make([]*rcn.Sequencer, len(r.linkSeq)),
 	}
+	// Wheel routers clone the whole wheel once — reuse lists, sweep clock and
+	// all minted states, in order — then rebind each RIB entry to its cloned
+	// state via the returned pointer map, preserving list membership exactly.
+	var wmap map[*damping.WheelState]*damping.WheelState
+	if r.wheel != nil {
+		c.wheel, wmap = r.wheel.Clone()
+		c.wheelLift = func(key uint64) {
+			c.reuseLifted(int32(key>>32), int32(uint32(key)))
+		}
+	}
 	for s, col := range r.ribIn {
 		nc := cloneSlice(col)
 		for i := range nc {
-			if nc[i].damp != nil {
-				nc[i].damp = nc[i].damp.Clone()
+			switch d := nc[i].damp.(type) {
+			case *damping.State:
+				nc[i].damp = d.Clone()
+			case *damping.WheelState:
+				nc[i].damp = wmap[d]
 			}
 			nc[i].reuseTimer = k2.Adopt(nc[i].reuseTimer)
 		}
@@ -198,6 +213,8 @@ func (r *Router) forkInto(f *Network, k2 *sim.Kernel) *Router {
 	}
 	c.mraiH = mraiHandler{r: c}
 	c.reuseH = reuseHandler{r: c}
+	c.sweepH = sweepHandler{r: c}
+	c.sweepTimer = k2.Adopt(r.sweepTimer)
 	return c
 }
 

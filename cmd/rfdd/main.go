@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"rfd/damping"
 	"rfd/experiment"
 	"rfd/experiment/diskcache"
 )
@@ -209,8 +210,11 @@ type sweepRequest struct {
 	Cols  int `json:"cols"`
 	Nodes int `json:"nodes"`
 	// Damping is "none" (default), "cisco" or "juniper"; RCN adds
-	// root-cause notification on top.
+	// root-cause notification on top. Engine selects the damping backend:
+	// "" or "exact" (default) for the reference engine, "wheel" for the
+	// timer-wheel batch engine (cache-distinct from exact runs).
 	Damping string `json:"damping"`
+	Engine  string `json:"damping_engine"`
 	RCN     bool   `json:"rcn"`
 	// Pulses lists the pulse counts to sweep (default 0..4).
 	Pulses []int `json:"pulses"`
@@ -304,6 +308,11 @@ func (r sweepRequest) scenario() (experiment.Scenario, []int, error) {
 	if r.FlapIntervalS > 0 {
 		opts.FlapInterval = time.Duration(r.FlapIntervalS * float64(time.Second))
 	}
+	engine, err := damping.ParseEngine(r.Engine)
+	if err != nil {
+		return experiment.Scenario{}, nil, err
+	}
+	opts.DampingEngine = engine
 	pulses := r.Pulses
 	if len(pulses) == 0 {
 		pulses = experiment.PulseRange(0, 4)

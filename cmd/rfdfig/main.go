@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"rfd/damping"
 	"rfd/experiment"
 	"rfd/experiment/diskcache"
 	"rfd/internal/asciiplot"
@@ -48,6 +49,7 @@ func run(ctx context.Context, args []string) error {
 		noCache  = fs.Bool("nocache", false, "disable the cross-figure run cache (re-run scenarios shared between figures)")
 		cacheDir = fs.String("cachedir", "", "persist the run cache in this directory (shared with rfdd; survives restarts)")
 		check    = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
+		engine   = fs.String("damping-engine", "exact", "damping backend for every run: exact | wheel (timer-wheel batch engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,11 @@ func run(ctx context.Context, args []string) error {
 	opts.Workers = *workers
 	opts.Check = *check
 	opts.Ctx = ctx
+	var err error
+	opts.DampingEngine, err = damping.ParseEngine(*engine)
+	if err != nil {
+		return fmt.Errorf("bad -damping-engine: %w", err)
+	}
 	if !*noCache {
 		opts.Cache = experiment.NewRunCache()
 		if *cacheDir != "" {

@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 		pulses    = fs.Int("pulses", 1, "number of (withdrawal, announcement) pulses")
 		interval  = fs.Duration("interval", experiment.DefaultFlapInterval, "flapping interval")
 		damp      = fs.String("damping", "cisco", "damping parameters: off | cisco | juniper")
+		engine    = fs.String("damping-engine", "exact", "damping backend: exact | wheel (timer-wheel batch engine)")
 		rcnOn     = fs.Bool("rcn", false, "enable RCN-enhanced damping")
 		policy    = fs.String("policy", "shortest", "routing policy: shortest | novalley")
 		mrai      = fs.Duration("mrai", 30*time.Second, "minimum route advertisement interval (0 disables)")
@@ -122,6 +123,10 @@ func run(ctx context.Context, args []string) error {
 		cfg.Damping = &params
 	default:
 		return fmt.Errorf("unknown -damping %q", *damp)
+	}
+	cfg.DampingEngine, err = damping.ParseEngine(*engine)
+	if err != nil {
+		return fmt.Errorf("bad -damping-engine: %w", err)
 	}
 	cfg.EnableRCN = *rcnOn
 	switch *policy {
@@ -196,7 +201,11 @@ func run(ctx context.Context, args []string) error {
 
 	fmt.Printf("topology          %s (isp=%d, origin=%d)\n", g, res.ISP, res.Origin)
 	fmt.Printf("workload          %d pulses, %v interval\n", res.Pulses, *interval)
-	fmt.Printf("damping           %s (rcn=%t, policy=%s, mrai=%v)\n", *damp, *rcnOn, cfg.Policy, *mrai)
+	dampDesc := *damp
+	if cfg.DampingEngine != damping.EngineExact {
+		dampDesc += "/" + cfg.DampingEngine.String()
+	}
+	fmt.Printf("damping           %s (rcn=%t, policy=%s, mrai=%v)\n", dampDesc, *rcnOn, cfg.Policy, *mrai)
 	fmt.Printf("convergence time  %.0f s\n", res.ConvergenceTime.Seconds())
 	fmt.Printf("message count     %d\n", res.MessageCount)
 	fmt.Printf("damped links max  %d\n", res.MaxDamped)

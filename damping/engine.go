@@ -1,0 +1,84 @@
+package damping
+
+import (
+	"fmt"
+	"time"
+)
+
+// EngineKind selects the damping backend implementation.
+type EngineKind int
+
+const (
+	// EngineExact is the reference backend: one State per stream with
+	// closed-form exponential decay (math.Exp on every touch) and exact
+	// reuse instants (math.Log per suppression). It is the zero value, so
+	// existing configurations keep their bit-for-bit behavior.
+	EngineExact EngineKind = iota
+	// EngineWheel is the timer-wheel backend modeled on BIRD's
+	// implementation: a precomputed quantized decay table, reuse-ceiling
+	// scale indexing, and bucketed reuse lists swept in batch — designed
+	// for routers carrying 10^5–10^6 damped prefixes. See Wheel for the
+	// quantization error bound it trades for that throughput.
+	EngineWheel
+)
+
+// String names the engine kind (the -damping-engine CLI vocabulary).
+func (k EngineKind) String() string {
+	switch k {
+	case EngineExact:
+		return "exact"
+	case EngineWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// ParseEngine parses the CLI spelling of an engine kind. The empty string
+// means EngineExact, matching the zero value of the type.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", "exact":
+		return EngineExact, nil
+	case "wheel":
+		return EngineWheel, nil
+	default:
+		return 0, fmt.Errorf("damping: unknown engine %q (want exact or wheel)", s)
+	}
+}
+
+// Engine is the per-stream damping interface both backends implement: the
+// exact *State and the timer-wheel's *WheelState. The simulator's router
+// holds one Engine per (peer, prefix) RIB-IN entry and drives it through
+// exactly this surface, so the backend can be swapped without touching the
+// protocol machinery.
+//
+// Reuse scheduling deliberately stays outside the interface: the exact
+// backend expects the caller to arm one timer per suppressed stream at
+// now+Event.ReuseIn, while wheel states enroll themselves in their Wheel's
+// reuse lists and are lifted by the owning router's periodic batch sweep.
+type Engine interface {
+	// Params returns the configuration the state was built with.
+	Params() Params
+	// Suppressed reports whether the route is currently suppressed.
+	Suppressed() bool
+	// Penalty returns the decayed penalty value at the given instant.
+	Penalty(now time.Duration) float64
+	// Update feeds one classified update into the state at virtual time
+	// now; charge=false records the update without adding penalty.
+	Update(now time.Duration, kind Kind, charge bool) Event
+	// ReuseIn returns how long from now until the penalty reaches the
+	// reuse threshold (zero when already at or below it).
+	ReuseIn(now time.Duration) time.Duration
+	// TryReuse lifts suppression when the penalty has decayed to the reuse
+	// threshold, reporting whether the route is now usable.
+	TryReuse(now time.Duration) bool
+	// Reset clears penalty and suppression (and, for wheel states, reuse
+	// list membership).
+	Reset()
+}
+
+var (
+	_ Engine = (*State)(nil)
+	_ Engine = (*WheelState)(nil)
+)

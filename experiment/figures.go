@@ -40,6 +40,11 @@ type Options struct {
 	// (Scenario.Check). Figures come out identical — the checker only
 	// observes — but any invariant violation fails the figure loudly.
 	Check bool
+	// DampingEngine selects the damping backend for every run (see
+	// bgp.Config.DampingEngine). The zero value is the exact reference
+	// engine; damping.EngineWheel switches to the timer-wheel backend and
+	// makes every run cache-distinct from its exact-engine twin.
+	DampingEngine damping.EngineKind
 	// Ctx, when non-nil, supervises every run and sweep the figure executes:
 	// cancelling it stops the figure with a typed ErrCanceled, a deadline
 	// with ErrBudgetExceeded. Nil means context.Background(). An un-tripped
@@ -97,6 +102,7 @@ func (o Options) run(sc Scenario) (*Result, error) {
 func (o Options) baseConfig() bgp.Config {
 	cfg := bgp.DefaultConfig()
 	cfg.Seed = o.Seed
+	cfg.DampingEngine = o.DampingEngine
 	return cfg
 }
 

@@ -30,12 +30,19 @@ func forkEquivalenceScenarios(t *testing.T) map[string]experiment.Scenario {
 	damped.Damping = &params
 	rcn := damped
 	rcn.EnableRCN = true
+	// The timer-wheel engine must survive fork byte-identically too: reuse
+	// list membership, list order, the sweep clock and the per-router sweep
+	// timer are all part of the forked state.
+	wheel := damped
+	wheel.DampingEngine = damping.EngineWheel
 
 	return map[string]experiment.Scenario{
 		"mesh-damped":     {Graph: mesh, ISP: 0, Config: damped, Pulses: 3},
 		"mesh-rcn":        {Graph: mesh, ISP: 0, Config: rcn, Pulses: 3},
+		"mesh-wheel":      {Graph: mesh, ISP: 0, Config: wheel, Pulses: 3},
 		"internet-damped": {Graph: inet, ISP: 15, Config: damped, Pulses: 3},
 		"internet-rcn":    {Graph: inet, ISP: 15, Config: rcn, Pulses: 3},
+		"internet-wheel":  {Graph: inet, ISP: 15, Config: wheel, Pulses: 3},
 	}
 }
 
