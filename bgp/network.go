@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rfd/internal/xrand"
@@ -36,9 +37,6 @@ type LinkImpairment interface {
 	Impair(at time.Duration, from, to RouterID) (drop bool, extraDelay time.Duration)
 }
 
-// noLink marks a nonexistent directed link in Network.linkDelay.
-const noLink = time.Duration(-1)
-
 // pendingMsg is an in-flight message parked in the network's slab between
 // send and deliver, stamped with the session generation it was sent on.
 type pendingMsg struct {
@@ -62,40 +60,66 @@ func (h *deliverHandler) HandleEvent(arg uint64) {
 
 // Network wires routers built from a topology onto a simulation kernel.
 //
-// Link and session state live in flat arrays indexed by directed pair
-// (from*nn+to) or canonical pair (lo*nn+hi), so the per-message hot path
-// performs no map lookups and no allocation: in-flight messages are parked
-// in a freelist-backed slab and delivery events carry the slab index.
+// Link and session state live in flat edge-indexed arrays over a compressed
+// sparse row (CSR) view of the topology, so the per-message hot path performs
+// no map lookups and no allocation — in-flight messages are parked in a
+// freelist-backed slab and delivery events carry the slab index — while
+// memory stays O(V+E) rather than O(V²), which is what makes internet-scale
+// graphs (and the sharded engine's per-shard replicas of the link state)
+// affordable.
 type Network struct {
 	kernel  *sim.Kernel
 	graph   *topology.Graph
 	cfg     Config
 	routers []*Router
-	nn      int // number of nodes; row stride of the directed-pair arrays
+	nn      int // number of nodes
 
-	// linkDelay holds the propagation delay per directed link, indexed
-	// from*nn+to; noLink where no edge exists.
+	// CSR adjacency, fixed at construction and shared by forks: node v's
+	// neighbors are adjNbr[adjStart[v]:adjStart[v+1]], sorted ascending —
+	// the same order as Router.peers, so a router's peerSlot doubles as the
+	// offset into its CSR row. A directed link (from,to) is identified by
+	// its slot in adjNbr; adjEdge maps the slot to the undirected edge id
+	// (the index into graph.Edges() order).
+	adjStart []int32
+	adjNbr   []RouterID
+	adjEdge  []int32
+
+	// linkDelay holds the symmetric propagation delay per undirected edge,
+	// fixed at construction and shared by forks.
 	linkDelay []time.Duration
 	// lastArrival enforces per-direction FIFO delivery: a message never
-	// overtakes an earlier one on the same directed link. Indexed
-	// from*nn+to; zero means no arrival constraint (reset when the session
-	// is severed — post-recovery traffic must not be serialized behind the
-	// arrival times of messages that were lost).
+	// overtakes an earlier one on the same directed link. Indexed by
+	// directed slot; zero means no arrival constraint (reset when the
+	// session is severed — post-recovery traffic must not be serialized
+	// behind the arrival times of messages that were lost).
 	lastArrival []time.Duration
-	// downLinks marks failed links, indexed by canonical pair lo*nn+hi.
+	// downLinks marks failed links, indexed by undirected edge id.
 	// Messages sent or in flight on a failed link are lost, as with a
 	// broken TCP session.
 	downLinks []bool
-	// sessionGen is a per-link session generation, indexed by canonical
-	// pair. Every session-severing fault — link failure, session reset,
-	// router crash — bumps it; deliveries stamped with an older generation
-	// are dropped, so messages in flight when a session dies never arrive,
-	// even when the session is re-established before their scheduled
-	// arrival.
+	// sessionGen is a per-edge session generation. Every session-severing
+	// fault — link failure, session reset, router crash — bumps it;
+	// deliveries stamped with an older generation are dropped, so messages
+	// in flight when a session dies never arrive, even when the session is
+	// re-established before their scheduled arrival.
 	sessionGen []uint64
 	// downRouters marks crashed routers. A crashed router holds no sessions:
 	// nothing is sent to or from it until RestartRouter.
 	downRouters []bool
+	// owner maps each router id to its owning shard; nil when this network
+	// owns every router (the sequential engine). A shard network
+	// instantiates only the routers it owns (the rest stay nil) and hands
+	// messages bound for remote owners to remoteSend instead of scheduling
+	// a local delivery. Link and session state is replicated per shard and
+	// kept in sync by applying every fault to every shard at the same
+	// virtual time.
+	owner   []int32
+	shardID int32
+	// remoteSend parks a cross-shard message — already FIFO-stamped with
+	// its arrival time and session generation — in the ensemble's outbox
+	// for injection at the next epoch barrier. Non-nil only on shard
+	// networks.
+	remoteSend func(at time.Duration, msg Message, gen uint64)
 	// impair, when non-nil, is consulted once per message sent on a healthy
 	// session (loss and jitter injection).
 	impair LinkImpairment
@@ -132,6 +156,17 @@ type Network struct {
 // topology's edges. Link propagation delays are drawn deterministically from
 // cfg.Seed.
 func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) {
+	return newNetwork(k, g, cfg, nil, 0)
+}
+
+// newNetwork builds either the full sequential network (owner nil) or one
+// shard of a sharded ensemble: with a non-nil owner map, only routers owned
+// by shardID are instantiated. The construction-time RNG sequence — link
+// delay draws in edge order, then one Split per router id — is replayed in
+// full on every shard regardless of ownership, so each instantiated router
+// receives exactly the stream it would have in the sequential engine. That
+// replay is what makes per-seed traces byte-identical across engines.
+func newNetwork(k *sim.Kernel, g *topology.Graph, cfg Config, owner []int32, shardID int32) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,52 +186,118 @@ func NewNetwork(k *sim.Kernel, g *topology.Graph, cfg Config) (*Network, error) 
 		}
 	}
 	nn := g.NumNodes()
+	edges := g.Edges()
 	n := &Network{
 		kernel:      k,
 		graph:       g,
 		cfg:         cfg,
 		nn:          nn,
-		linkDelay:   make([]time.Duration, nn*nn),
-		lastArrival: make([]time.Duration, nn*nn),
-		downLinks:   make([]bool, nn*nn),
-		sessionGen:  make([]uint64, nn*nn),
+		linkDelay:   make([]time.Duration, len(edges)),
+		lastArrival: make([]time.Duration, 2*len(edges)),
+		downLinks:   make([]bool, len(edges)),
+		sessionGen:  make([]uint64, len(edges)),
 		downRouters: make([]bool, nn),
+		owner:       owner,
+		shardID:     shardID,
 		paths:       newPathTable(),
 		prefixIDs:   make(map[Prefix]int32, 8),
 	}
 	n.deliverH = deliverHandler{n: n}
-	for i := range n.linkDelay {
-		n.linkDelay[i] = noLink
-	}
+	n.buildCSR(edges)
 	rng := xrand.New(cfg.Seed)
-	for _, e := range g.Edges() {
+	for i := range edges {
 		// One symmetric delay per link, drawn in deterministic edge order.
 		d := cfg.MinLinkDelay
 		if span := cfg.MaxLinkDelay - cfg.MinLinkDelay; span > 0 {
 			d += time.Duration(rng.Intn(int(span)))
 		}
-		n.linkDelay[n.dirIdx(e.A, e.B)] = d
-		n.linkDelay[n.dirIdx(e.B, e.A)] = d
+		n.linkDelay[i] = d
 	}
 	n.routers = make([]*Router, nn)
 	for id := 0; id < nn; id++ {
-		n.routers[id] = newRouter(n, RouterID(id), rng.Split())
+		// Split unconditionally: unowned routers still consume their slot in
+		// the parent stream so owned routers get their sequential streams.
+		sub := rng.Split()
+		if owner == nil || owner[id] == shardID {
+			n.routers[id] = newRouter(n, RouterID(id), sub)
+		}
 	}
 	return n, nil
 }
 
-// dirIdx indexes the directed-pair arrays. Callers guarantee both ids are in
-// range (they come from the topology or from bounds-checked public methods).
-func (n *Network) dirIdx(from, to RouterID) int {
-	return int(from)*n.nn + int(to)
+// buildCSR fills the adjacency arrays from the edge list: counting sort into
+// per-node rows, then an in-row sort by neighbor id carrying edge ids along.
+func (n *Network) buildCSR(edges []topology.Edge) {
+	n.adjStart = make([]int32, n.nn+1)
+	for _, e := range edges {
+		n.adjStart[e.A+1]++
+		n.adjStart[e.B+1]++
+	}
+	for v := 1; v <= n.nn; v++ {
+		n.adjStart[v] += n.adjStart[v-1]
+	}
+	n.adjNbr = make([]RouterID, 2*len(edges))
+	n.adjEdge = make([]int32, 2*len(edges))
+	fill := make([]int32, n.nn)
+	for i, e := range edges {
+		sa := n.adjStart[e.A] + fill[e.A]
+		fill[e.A]++
+		n.adjNbr[sa], n.adjEdge[sa] = RouterID(e.B), int32(i)
+		sb := n.adjStart[e.B] + fill[e.B]
+		fill[e.B]++
+		n.adjNbr[sb], n.adjEdge[sb] = RouterID(e.A), int32(i)
+	}
+	for v := 0; v < n.nn; v++ {
+		row := adjRow{
+			nbr:  n.adjNbr[n.adjStart[v]:n.adjStart[v+1]],
+			edge: n.adjEdge[n.adjStart[v]:n.adjStart[v+1]],
+		}
+		sort.Sort(row)
+	}
 }
 
-// linkIdx indexes the canonical-pair arrays (low id first).
-func (n *Network) linkIdx(a, b RouterID) int {
-	if a > b {
-		a, b = b, a
+// adjRow sorts one CSR row by neighbor id, keeping edge ids aligned.
+type adjRow struct {
+	nbr  []RouterID
+	edge []int32
+}
+
+func (r adjRow) Len() int           { return len(r.nbr) }
+func (r adjRow) Less(i, j int) bool { return r.nbr[i] < r.nbr[j] }
+func (r adjRow) Swap(i, j int) {
+	r.nbr[i], r.nbr[j] = r.nbr[j], r.nbr[i]
+	r.edge[i], r.edge[j] = r.edge[j], r.edge[i]
+}
+
+// dirSlot returns the directed slot of link from->to (the index into adjNbr,
+// lastArrival), or -1 when no such link exists. Binary search within the
+// node's CSR row; hot paths that already hold the from-side router use its
+// peerSlot for an O(1) lookup instead.
+func (n *Network) dirSlot(from, to RouterID) int32 {
+	if !n.inRange(from) || !n.inRange(to) {
+		return -1
 	}
-	return int(a)*n.nn + int(b)
+	lo, hi := n.adjStart[from], n.adjStart[from+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.adjNbr[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n.adjStart[from+1] && n.adjNbr[lo] == to {
+		return lo
+	}
+	return -1
+}
+
+// edgeOf returns the undirected edge id of link a-b, or -1 when absent.
+func (n *Network) edgeOf(a, b RouterID) int32 {
+	if s := n.dirSlot(a, b); s >= 0 {
+		return n.adjEdge[s]
+	}
+	return -1
 }
 
 // inRange reports whether id is a valid router id.
@@ -207,7 +308,7 @@ func (n *Network) inRange(id RouterID) bool {
 // hasLink reports whether a directed link exists (false for out-of-range
 // ids).
 func (n *Network) hasLink(a, b RouterID) bool {
-	return n.inRange(a) && n.inRange(b) && n.linkDelay[n.dirIdx(a, b)] != noLink
+	return n.dirSlot(a, b) >= 0
 }
 
 // Kernel returns the simulation kernel the network runs on.
@@ -277,6 +378,9 @@ func (n *Network) PendingDeliveries() int { return n.pendingDeliveries }
 func (n *Network) PendingAnnouncements() int {
 	total := 0
 	for _, r := range n.routers {
+		if r == nil {
+			continue
+		}
 		for s := range r.peers {
 			for i := range r.ribOut[s] {
 				if r.ribOut[s][i].pending {
@@ -294,7 +398,9 @@ func (n *Network) PendingAnnouncements() int {
 // end of warm-up.
 func (n *Network) ResetDamping() {
 	for _, r := range n.routers {
-		r.resetDamping()
+		if r != nil {
+			r.resetDamping()
+		}
 	}
 }
 
@@ -305,7 +411,9 @@ func (n *Network) ResetDamping() {
 func (n *Network) DampedLinkCount() int {
 	total := 0
 	for _, r := range n.routers {
-		total += r.suppressedCount()
+		if r != nil {
+			total += r.suppressedCount()
+		}
 	}
 	return total
 }
@@ -314,14 +422,20 @@ func (n *Network) DampedLinkCount() int {
 // also for nonexistent links). A link can be up while no session runs over
 // it — when an endpoint router is crashed; see SessionUp.
 func (n *Network) LinkUp(a, b RouterID) bool {
-	return n.hasLink(a, b) && !n.downLinks[n.linkIdx(a, b)]
+	e := n.edgeOf(a, b)
+	return e >= 0 && !n.downLinks[e]
 }
 
 // SessionUp reports whether a BGP session is currently established between
 // a and b: the link exists and is up, and both routers are running.
 func (n *Network) SessionUp(a, b RouterID) bool {
-	return n.hasLink(a, b) && !n.downLinks[n.linkIdx(a, b)] &&
-		!n.downRouters[a] && !n.downRouters[b]
+	e := n.edgeOf(a, b)
+	return e >= 0 && n.sessionUpEdge(e, a, b)
+}
+
+// sessionUpEdge is SessionUp for callers that already resolved the edge id.
+func (n *Network) sessionUpEdge(edge int32, a, b RouterID) bool {
+	return !n.downLinks[edge] && !n.downRouters[a] && !n.downRouters[b]
 }
 
 // RouterUp reports whether router id is running (false for out-of-range
@@ -335,9 +449,9 @@ func (n *Network) RouterUp(id RouterID) bool {
 // and post-recovery traffic must not be serialized behind the arrival times
 // of messages that were lost.
 func (n *Network) severSession(a, b RouterID) {
-	n.sessionGen[n.linkIdx(a, b)]++
-	n.lastArrival[n.dirIdx(a, b)] = 0
-	n.lastArrival[n.dirIdx(b, a)] = 0
+	n.sessionGen[n.edgeOf(a, b)]++
+	n.lastArrival[n.dirSlot(a, b)] = 0
+	n.lastArrival[n.dirSlot(b, a)] = 0
 }
 
 // SetLinkState fails (up=false) or restores (up=true) the link between a
@@ -353,22 +467,30 @@ func (n *Network) severSession(a, b RouterID) {
 //
 // Setting the current state again is a no-op. Unknown links return an error.
 func (n *Network) SetLinkState(a, b RouterID, up bool) error {
-	if !n.hasLink(a, b) {
+	key := n.edgeOf(a, b)
+	if key < 0 {
 		return fmt.Errorf("bgp: no link %d-%d", a, b)
 	}
-	key := n.linkIdx(a, b)
 	if n.downLinks[key] == !up {
 		return nil
 	}
 	if up {
 		n.downLinks[key] = false
-		n.routers[a].peerUp(b)
-		n.routers[b].peerUp(a)
+		if r := n.routers[a]; r != nil {
+			r.peerUp(b)
+		}
+		if r := n.routers[b]; r != nil {
+			r.peerUp(a)
+		}
 	} else {
 		n.downLinks[key] = true
 		n.severSession(a, b)
-		n.routers[a].peerDown(b)
-		n.routers[b].peerDown(a)
+		if r := n.routers[a]; r != nil {
+			r.peerDown(b)
+		}
+		if r := n.routers[b]; r != nil {
+			r.peerDown(a)
+		}
 	}
 	return nil
 }
@@ -388,10 +510,18 @@ func (n *Network) ResetSession(a, b RouterID) error {
 		return nil
 	}
 	n.severSession(a, b)
-	n.routers[a].peerDown(b)
-	n.routers[b].peerDown(a)
-	n.routers[a].peerUp(b)
-	n.routers[b].peerUp(a)
+	if r := n.routers[a]; r != nil {
+		r.peerDown(b)
+	}
+	if r := n.routers[b]; r != nil {
+		r.peerDown(a)
+	}
+	if r := n.routers[a]; r != nil {
+		r.peerUp(b)
+	}
+	if r := n.routers[b]; r != nil {
+		r.peerUp(a)
+	}
 	return nil
 }
 
@@ -408,21 +538,26 @@ func (n *Network) CrashRouter(id RouterID) error {
 	if n.downRouters[id] {
 		return nil
 	}
-	r := n.routers[id]
 	// Mark the router dead and sever its sessions first, so nothing the
-	// peers do below can reach it.
+	// peers do below can reach it. Neighbors come from the CSR row — the
+	// same ascending order as Router.peers — so shard networks replay the
+	// identical sequence even when the crashed router itself is remote.
 	n.downRouters[id] = true
-	for _, q := range r.peers {
+	for _, q := range n.neighbors(id) {
 		n.severSession(id, q)
 	}
-	r.crash()
-	for _, q := range r.peers {
-		if n.downLinks[n.linkIdx(id, q)] || n.downRouters[q] {
+	if r := n.routers[id]; r != nil {
+		r.crash()
+	}
+	for i, q := range n.neighbors(id) {
+		if n.downLinks[n.adjEdge[int(n.adjStart[id])+i]] || n.downRouters[q] {
 			// No session was established, so the peer has nothing to
 			// withdraw.
 			continue
 		}
-		n.routers[q].peerDown(id)
+		if rq := n.routers[q]; rq != nil {
+			rq.peerDown(id)
+		}
 	}
 	return nil
 }
@@ -440,15 +575,24 @@ func (n *Network) RestartRouter(id RouterID) error {
 		return nil
 	}
 	n.downRouters[id] = false
-	r := n.routers[id]
-	r.restart()
-	for _, q := range r.peers {
+	if r := n.routers[id]; r != nil {
+		r.restart()
+	}
+	for _, q := range n.neighbors(id) {
 		if !n.SessionUp(id, q) {
 			continue
 		}
-		n.routers[q].peerUp(id)
+		if rq := n.routers[q]; rq != nil {
+			rq.peerUp(id)
+		}
 	}
 	return nil
+}
+
+// neighbors returns id's CSR row: its neighbors in ascending id order (the
+// same order as the router's peers slice). Valid for unowned routers too.
+func (n *Network) neighbors(id RouterID) []RouterID {
+	return n.adjNbr[n.adjStart[id]:n.adjStart[id+1]]
 }
 
 // allocMsg parks msg in the slab and returns its index.
@@ -470,12 +614,16 @@ func (n *Network) allocMsg(msg Message, gen uint64) int32 {
 // within a session. Messages sent while no session is established, or
 // dropped by the impairment model, are lost.
 func (n *Network) send(msg Message) {
-	dir := n.dirIdx(msg.From, msg.To)
-	delay := n.linkDelay[dir]
-	if delay == noLink {
+	sender := n.routers[msg.From]
+	slot := sender.slotOf(msg.To)
+	if slot < 0 {
 		panic(fmt.Sprintf("bgp: send on nonexistent link %d->%d", msg.From, msg.To))
 	}
-	if !n.SessionUp(msg.From, msg.To) {
+	// peers is sorted like the CSR row, so the peer slot is the row offset.
+	dir := n.adjStart[msg.From] + slot
+	edge := n.adjEdge[dir]
+	delay := n.linkDelay[edge]
+	if !n.sessionUpEdge(edge, msg.From, msg.To) {
 		return
 	}
 	if n.debugHooks.OnSend != nil {
@@ -496,13 +644,30 @@ func (n *Network) send(msg Message) {
 		}
 		extra = jitter
 	}
-	sender := n.routers[msg.From]
 	at := n.kernel.Now() + sender.procDelay() + delay + extra
 	if last := n.lastArrival[dir]; at <= last {
 		at = last + time.Nanosecond
 	}
 	n.lastArrival[dir] = at
-	gen := n.sessionGen[n.linkIdx(msg.From, msg.To)]
+	gen := n.sessionGen[edge]
+	if n.owner != nil && n.owner[msg.To] != n.shardID {
+		// The receiver lives on another shard: park the message in the
+		// ensemble outbox instead of the local slab. The arrival time is
+		// final (FIFO stamp included) — only the owner of msg.From ever
+		// sends on this directed link, so its lastArrival is authoritative.
+		n.remoteSend(at, msg, gen)
+		return
+	}
+	n.pendingDeliveries++
+	idx := n.allocMsg(msg, gen)
+	n.kernel.AtHandler(at, "bgp.deliver", &n.deliverH, uint64(uint32(idx)))
+}
+
+// injectDelivery schedules delivery of a cross-shard message on the owning
+// shard's kernel. Called only at epoch barriers, in the ensemble's canonical
+// (time, source shard, sequence) order; the lookahead guarantees at is never
+// in the kernel's past.
+func (n *Network) injectDelivery(at time.Duration, msg Message, gen uint64) {
 	n.pendingDeliveries++
 	idx := n.allocMsg(msg, gen)
 	n.kernel.AtHandler(at, "bgp.deliver", &n.deliverH, uint64(uint32(idx)))
@@ -515,7 +680,11 @@ func (n *Network) send(msg Message) {
 // message was sent on).
 func (n *Network) deliver(msg Message, gen uint64) {
 	n.pendingDeliveries--
-	if n.sessionGen[n.linkIdx(msg.From, msg.To)] != gen || !n.SessionUp(msg.From, msg.To) {
+	// Resolve the edge through the receiver's peer slot (the receiver is
+	// always instantiated locally; under sharding the sender may not be).
+	receiver := n.routers[msg.To]
+	edge := n.adjEdge[n.adjStart[msg.To]+receiver.slotOf(msg.From)]
+	if n.sessionGen[edge] != gen || !n.sessionUpEdge(edge, msg.From, msg.To) {
 		n.dropped++
 		if n.debugHooks.OnDrop != nil {
 			n.debugHooks.OnDrop(n.kernel.Now(), msg, DropSevered)
@@ -553,8 +722,9 @@ func (n *Network) CheckConsistency() error {
 		return fmt.Errorf("bgp: consistency check on a non-quiescent network (%d deliveries in flight)", n.pendingDeliveries)
 	}
 	for _, r := range n.routers {
-		if n.downRouters[r.id] {
-			// A crashed router holds no state to be consistent about.
+		if r == nil || n.downRouters[r.id] {
+			// Remote (other-shard) routers are checked by their owner; a
+			// crashed router holds no state to be consistent about.
 			continue
 		}
 		for s, q := range r.peers {
@@ -564,6 +734,11 @@ func (n *Network) CheckConsistency() error {
 				continue
 			}
 			peer := n.routers[q]
+			if peer == nil {
+				// Cross-shard session: the ensemble-level check pairs the
+				// two shard-local views.
+				continue
+			}
 			backSlot := peer.slotOf(r.id)
 			for _, prefix := range r.ribOutPrefixes(int32(s)) {
 				pid, _ := n.lookupPrefix(prefix)
@@ -595,6 +770,9 @@ func (n *Network) CheckConsistency() error {
 func (n *Network) Prefixes() []Prefix {
 	set := make(map[Prefix]struct{})
 	for _, r := range n.routers {
+		if r == nil {
+			continue
+		}
 		for _, p := range r.localPrefixes() {
 			set[p] = struct{}{}
 		}

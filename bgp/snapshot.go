@@ -104,11 +104,16 @@ func (n *Network) fork() (*Network, error) {
 		graph:             n.graph, // never mutated after construction
 		cfg:               n.cfg,
 		nn:                n.nn,
-		linkDelay:         cloneSlice(n.linkDelay),
+		adjStart:          n.adjStart, // CSR adjacency and delays are
+		adjNbr:            n.adjNbr,   // immutable after construction —
+		adjEdge:           n.adjEdge,  // shared, not copied
+		linkDelay:         n.linkDelay,
 		lastArrival:       cloneSlice(n.lastArrival),
 		downLinks:         cloneSlice(n.downLinks),
 		sessionGen:        cloneSlice(n.sessionGen),
 		downRouters:       cloneSlice(n.downRouters),
+		owner:             n.owner, // immutable partition assignment
+		shardID:           n.shardID,
 		impair:            impair,
 		pendingDeliveries: n.pendingDeliveries,
 		paths:             n.paths.clone(),
@@ -127,13 +132,18 @@ func (n *Network) fork() (*Network, error) {
 	f.deliverH = deliverHandler{n: f}
 	f.routers = make([]*Router, n.nn)
 	for id, r := range n.routers {
-		f.routers[id] = r.forkInto(f, k2)
+		if r != nil { // shard networks leave unowned routers nil
+			f.routers[id] = r.forkInto(f, k2)
+		}
 	}
 	// The cloned queue's pending events still point at the original's handler
 	// values; rebind them to the fork's.
 	remap := make(map[sim.Handler]sim.Handler, 1+2*len(n.routers))
 	remap[&n.deliverH] = &f.deliverH
 	for id := range n.routers {
+		if n.routers[id] == nil {
+			continue
+		}
 		remap[&n.routers[id].mraiH] = &f.routers[id].mraiH
 		remap[&n.routers[id].reuseH] = &f.routers[id].reuseH
 		remap[&n.routers[id].sweepH] = &f.routers[id].sweepH

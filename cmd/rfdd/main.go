@@ -221,6 +221,10 @@ type sweepRequest struct {
 	// Seed and FlapIntervalS parameterize the workload.
 	Seed          uint64  `json:"seed"`
 	FlapIntervalS float64 `json:"flap_interval_s"`
+	// Shards > 1 runs each point on the sharded engine. Results — and cache
+	// keys — are identical to sequential runs; this only changes how a point
+	// executes.
+	Shards int `json:"shards"`
 	// TimeoutMS tightens (never loosens) the server's per-request deadline.
 	TimeoutMS int64 `json:"timeout_ms"`
 }
@@ -313,6 +317,10 @@ func (r sweepRequest) scenario() (experiment.Scenario, []int, error) {
 		return experiment.Scenario{}, nil, err
 	}
 	opts.DampingEngine = engine
+	if r.Shards < 0 || r.Shards > 64 {
+		return experiment.Scenario{}, nil, fmt.Errorf("shards %d outside [0, 64]", r.Shards)
+	}
+	opts.Shards = r.Shards
 	pulses := r.Pulses
 	if len(pulses) == 0 {
 		pulses = experiment.PulseRange(0, 4)

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string) error {
 		cacheDir = fs.String("cachedir", "", "persist the run cache in this directory (shared with rfdd; survives restarts)")
 		check    = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
 		engine   = fs.String("damping-engine", "exact", "damping backend for every run: exact | wheel (timer-wheel batch engine)")
+		shards   = fs.Int("shards", 1, "run every scenario on the sharded engine with this many shards (1 = sequential; figures are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,12 @@ func run(ctx context.Context, args []string) error {
 	opts.Workers = *workers
 	opts.Check = *check
 	opts.Ctx = ctx
+	if *shards > 1 {
+		if *check {
+			return fmt.Errorf("-check and -shards are incompatible (the invariant checker is sequential-engine)")
+		}
+		opts.Shards = *shards
+	}
 	var err error
 	opts.DampingEngine, err = damping.ParseEngine(*engine)
 	if err != nil {

@@ -11,6 +11,8 @@
 //	rfdsim -pulses 3 -loss 0.01 -jitter 5ms   # 1% message loss, 5ms delay jitter
 //	rfdsim -pulses 1 -faults plan.txt         # scripted faults (see faults.ParsePlan)
 //	rfdsim -pulses 5 -cpuprofile cpu.out      # profile the run (go tool pprof cpu.out)
+//	rfdsim -pulses 3 -shards 4                # sharded parallel engine, 4 shards
+//	rfdsim -topology caida:as-rel.txt -pulses 1   # CAIDA AS-relationship import
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,7 +50,7 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rfdsim", flag.ContinueOnError)
 	var (
-		topo      = fs.String("topology", "mesh", "topology family: mesh | internet | ring | line")
+		topo      = fs.String("topology", "mesh", "topology family: mesh | internet | ring | line | caida:<as-rel-file>")
 		rows      = fs.Int("rows", 10, "mesh rows")
 		cols      = fs.Int("cols", 10, "mesh cols")
 		nodes     = fs.Int("nodes", 100, "node count for internet/ring/line topologies")
@@ -68,6 +71,7 @@ func run(ctx context.Context, args []string) error {
 		faultFile = fs.String("faults", "", "apply the fault plan in this file (faults.ParsePlan format)")
 		loss      = fs.Float64("loss", 0, "uniform message-loss probability in [0, 1]")
 		jitter    = fs.Duration("jitter", 0, "maximum extra per-message delay (uniform in [0, jitter))")
+		shards    = fs.Int("shards", 1, "run on the sharded parallel engine with this many shards (1 = sequential; traces and results are identical)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -138,6 +142,9 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown -policy %q", *policy)
 	}
 
+	if *shards > 1 && *checkOn {
+		return fmt.Errorf("-check and -shards are incompatible (the invariant checker is sequential-engine)")
+	}
 	sc := experiment.Scenario{
 		Graph:        g,
 		ISP:          ispID,
@@ -145,6 +152,9 @@ func run(ctx context.Context, args []string) error {
 		Pulses:       *pulses,
 		FlapInterval: *interval,
 		Check:        *checkOn,
+	}
+	if *shards > 1 {
+		sc.Shards = *shards
 	}
 	if *traceFile != "" {
 		sc.Trace = trace.NewLog(0)
@@ -155,10 +165,20 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		sc.Impair = imp
-		// Faulty runs drain under the watchdog: consistency is checked at
-		// quiescent instants and a livelock aborts with a diagnosis instead
-		// of burning the kernel's event limit.
-		sc.Watchdog = &faults.WatchdogConfig{}
+		if sc.Shards > 1 {
+			// The sharded engine requires engine-independent impairment
+			// randomness: one stream per directed link instead of the single
+			// global stream. (The two modes are different random sequences,
+			// so a sharded faulty run is not comparable to a sequential one
+			// unless the sequential run also uses -shards-style streams.)
+			imp.UseLinkStreams()
+		} else {
+			// Faulty sequential runs drain under the watchdog: consistency is
+			// checked at quiescent instants and a livelock aborts with a
+			// diagnosis instead of burning the kernel's event limit. The
+			// watchdog drives a single kernel, so sharded runs skip it.
+			sc.Watchdog = &faults.WatchdogConfig{}
+		}
 		if *faultFile != "" {
 			f, err := os.Open(*faultFile)
 			if err != nil {
@@ -200,6 +220,23 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	fmt.Printf("topology          %s (isp=%d, origin=%d)\n", g, res.ISP, res.Origin)
+	if sc.Shards > 1 {
+		fmt.Printf("shards            %d\n", sc.Shards)
+		if *verbose {
+			// Reconstruct the run topology (base graph + attached origin) the
+			// sharded engine partitioned and report the cut quality.
+			rg := g.Clone()
+			o := rg.AddNode()
+			if err := rg.AddEdge(o, ispID); err != nil {
+				return err
+			}
+			assign, err := topology.Partition(rg, sc.Shards)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("partition         %s\n", topology.AnalyzePartition(rg, assign))
+		}
+	}
 	fmt.Printf("workload          %d pulses, %v interval\n", res.Pulses, *interval)
 	dampDesc := *damp
 	if cfg.DampingEngine != damping.EngineExact {
@@ -270,6 +307,21 @@ func runSweep(ctx context.Context, sc experiment.Scenario, spec string, workers 
 
 // buildTopology constructs the requested base graph and its default ispAS.
 func buildTopology(kind string, rows, cols, nodes int, seed uint64) (*topology.Graph, topology.NodeID, error) {
+	if path, ok := strings.CutPrefix(kind, "caida:"); ok {
+		g, err := topology.LoadASRelationships(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Default ispAS: the best-connected AS (ties to the lowest id, i.e.
+		// the lowest AS number).
+		best := topology.NodeID(0)
+		for v := topology.NodeID(1); int(v) < g.NumNodes(); v++ {
+			if g.Degree(v) > g.Degree(best) {
+				best = v
+			}
+		}
+		return g, best, nil
+	}
 	switch kind {
 	case "mesh":
 		g, err := topology.Torus(rows, cols)

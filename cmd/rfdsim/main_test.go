@@ -60,3 +60,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSharded(t *testing.T) {
+	cases := [][]string{
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-shards", "4", "-v"},
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-shards", "2", "-loss", "0.01"},
+		{"-topology", "internet", "-nodes", "20", "-pulses", "1", "-shards", "2"},
+		{"-rows", "4", "-cols", "4", "-pulses", "1", "-shards", "2", "-sweep", "0:2"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	// -check needs the sequential engine.
+	if err := run(context.Background(), []string{"-rows", "4", "-cols", "4", "-shards", "2", "-check"}); err == nil {
+		t.Fatal("-shards with -check accepted")
+	}
+}
+
+func TestRunCAIDATopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "as-rel.txt")
+	data := "# tiny fixture\n10|20|0\n10|30|-1\n20|30|-1\n30|40|-1\n40|10|0\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-topology", "caida:" + path, "-pulses", "1", "-shards", "2"}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-topology", "caida:" + path + ".missing"}); err == nil {
+		t.Fatal("missing CAIDA file accepted")
+	}
+}

@@ -45,6 +45,12 @@ type Options struct {
 	// engine; damping.EngineWheel switches to the timer-wheel backend and
 	// makes every run cache-distinct from its exact-engine twin.
 	DampingEngine damping.EngineKind
+	// Shards, when > 1, runs every figure scenario on the sharded engine
+	// (Scenario.Shards). Figures come out identical — the shard count is an
+	// execution detail, not a simulation input — but sharded sweeps run each
+	// point from scratch instead of forking a shared warm-up checkpoint.
+	// Incompatible with Check (the invariant checker is sequential-engine).
+	Shards int
 	// Ctx, when non-nil, supervises every run and sweep the figure executes:
 	// cancelling it stops the figure with a typed ErrCanceled, a deadline
 	// with ErrBudgetExceeded. Nil means context.Background(). An un-tripped
@@ -129,7 +135,7 @@ func (o Options) meshScenario(cfg bgp.Config) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	return Scenario{Graph: g, ISP: 0, Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check}, nil
+	return Scenario{Graph: g, ISP: 0, Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check, Shards: o.Shards}, nil
 }
 
 // internetScenario builds the Internet-derived scenario with the given node
@@ -141,7 +147,7 @@ func (o Options) internetScenario(cfg bgp.Config, nodes int, policy bgp.Policy) 
 		return Scenario{}, err
 	}
 	cfg.Policy = policy
-	return Scenario{Graph: g, ISP: topology.NodeID(nodes / 2), Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check}, nil
+	return Scenario{Graph: g, ISP: topology.NodeID(nodes / 2), Config: cfg, FlapInterval: o.FlapInterval, Check: o.Check, Shards: o.Shards}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -84,6 +84,16 @@ type Scenario struct {
 	// instead of a bare kernel run: quiescent-instant consistency checks,
 	// livelock abort, and a FaultReport on the Result.
 	Watchdog *faults.WatchdogConfig
+	// Shards, when > 1, runs the scenario on the sharded engine: the run
+	// topology is partitioned across Shards shard kernels coordinated by
+	// conservative-lookahead epochs (sim.ShardGroup). Results are
+	// reconstructed from the merged per-shard event traces and are identical
+	// to a Shards<=1 run of the same scenario — the shard count is an
+	// execution detail, not a simulation input, which is why Fingerprint
+	// ignores it. Sharded runs require MinLinkDelay+MinProcDelay > 0 and are
+	// incompatible with Watchdog, Check, and impairment models that are not
+	// in per-link stream mode (faults.Impairments.UseLinkStreams).
+	Shards int
 	// Check, when true, runs the flap phase under the runtime invariant
 	// checker (package check): a full RIB/timer/conservation sweep after
 	// every event plus the differential damping oracle. Any violation fails
@@ -116,6 +126,9 @@ func (s Scenario) validate() error {
 	}
 	if s.FlapInterval < 0 {
 		return fmt.Errorf("experiment: negative flap interval %v", s.FlapInterval)
+	}
+	if err := s.validateSharded(); err != nil {
+		return err
 	}
 	return s.Config.Validate()
 }
@@ -196,6 +209,9 @@ func Run(sc Scenario) (*Result, error) {
 // the run stays byte-identical to Run(sc), because the cooperative stop check
 // only reads the context and never touches simulation state.
 func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
+	if sc.Shards > 1 {
+		return runSharded(ctx, sc)
+	}
 	n, origin, err := converge(ctx, sc)
 	if err != nil {
 		return nil, err
@@ -488,6 +504,9 @@ func (c *Checkpoint) Run(sc Scenario) (*Result, error) {
 func (c *Checkpoint) RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
+	}
+	if sc.Shards > 1 {
+		return nil, fmt.Errorf("experiment: checkpoints are sequential-engine state; run sharded scenarios from scratch (Shards=%d)", sc.Shards)
 	}
 	_, n, err := c.snap.Fork()
 	if err != nil {

@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rfd/faults"
+	"rfd/trace"
+)
+
+// resultFields compares every externally meaningful Result field between a
+// sequential and a sharded run of the same scenario.
+func assertResultsEqual(t *testing.T, want, got *Result) {
+	t.Helper()
+	if want.MessageCount != got.MessageCount {
+		t.Errorf("MessageCount: %d vs %d", want.MessageCount, got.MessageCount)
+	}
+	if want.ConvergenceTime != got.ConvergenceTime {
+		t.Errorf("ConvergenceTime: %v vs %v", want.ConvergenceTime, got.ConvergenceTime)
+	}
+	if want.FlapStart != got.FlapStart || want.FlapEnd != got.FlapEnd {
+		t.Errorf("flap window: [%v, %v] vs [%v, %v]", want.FlapStart, want.FlapEnd, got.FlapStart, got.FlapEnd)
+	}
+	if want.EndTime != got.EndTime {
+		t.Errorf("EndTime: %v vs %v", want.EndTime, got.EndTime)
+	}
+	if want.MaxDamped != got.MaxDamped {
+		t.Errorf("MaxDamped: %d vs %d", want.MaxDamped, got.MaxDamped)
+	}
+	if want.NoisyReuses != got.NoisyReuses || want.SilentReuses != got.SilentReuses {
+		t.Errorf("reuses: %d/%d vs %d/%d", want.NoisyReuses, want.SilentReuses, got.NoisyReuses, got.SilentReuses)
+	}
+	if want.OriginSuppressed != got.OriginSuppressed {
+		t.Errorf("OriginSuppressed: %t vs %t", want.OriginSuppressed, got.OriginSuppressed)
+	}
+	if want.Dropped != got.Dropped {
+		t.Errorf("Dropped: %d vs %d", want.Dropped, got.Dropped)
+	}
+	if want.Updates.Count() != got.Updates.Count() {
+		t.Errorf("Updates.Count: %d vs %d", want.Updates.Count(), got.Updates.Count())
+	}
+	if wl, wok := want.Updates.Last(); true {
+		gl, gok := got.Updates.Last()
+		if wok != gok || wl != gl {
+			t.Errorf("Updates.Last: %v/%t vs %v/%t", wl, wok, gl, gok)
+		}
+	}
+	if len(want.LastUpdateByRouter) != len(got.LastUpdateByRouter) {
+		t.Errorf("LastUpdateByRouter size: %d vs %d", len(want.LastUpdateByRouter), len(got.LastUpdateByRouter))
+	}
+	for id, at := range want.LastUpdateByRouter {
+		if got.LastUpdateByRouter[id] != at {
+			t.Errorf("LastUpdateByRouter[%d]: %v vs %v", id, at, got.LastUpdateByRouter[id])
+		}
+	}
+	if want.Phases != got.Phases {
+		t.Errorf("Phases: %+v vs %+v", want.Phases, got.Phases)
+	}
+	for w, tr := range want.PenaltyTraces {
+		gtr, ok := got.PenaltyTraces[w]
+		if !ok {
+			t.Errorf("PenaltyTraces missing %+v", w)
+			continue
+		}
+		if tr.Len() != gtr.Len() || tr.Max() != gtr.Max() {
+			t.Errorf("PenaltyTraces[%+v]: len %d max %g vs len %d max %g",
+				w, tr.Len(), tr.Max(), gtr.Len(), gtr.Max())
+		}
+	}
+}
+
+// TestRunShardedMatchesSequential is the experiment-level equivalence
+// property: Run with Shards>1 produces the same Result as Shards<=1.
+func TestRunShardedMatchesSequential(t *testing.T) {
+	base := Scenario{
+		Graph:  smallMesh(t),
+		ISP:    7,
+		Config: dampingCfg(),
+		Pulses: 3,
+		Watch:  []PenaltyWatch{{Router: 7, Peer: 25}}, // ISP watching the origin
+	}
+	base.Config.Seed = 9
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sc := base
+			sc.Shards = shards
+			got, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsEqual(t, want, got)
+		})
+	}
+}
+
+// TestRunShardedLinkFlapMatchesSequential covers the FlapViaLink path, which
+// exercises the replicated link-state machinery under the scenario driver.
+func TestRunShardedLinkFlapMatchesSequential(t *testing.T) {
+	base := Scenario{
+		Graph:       smallMesh(t),
+		ISP:         3,
+		Config:      dampingCfg(),
+		Pulses:      2,
+		FlapViaLink: true,
+	}
+	base.Config.Seed = 4
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := base
+	sc.Shards = 3
+	got, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, want, got)
+}
+
+// TestRunShardedImpairMatchesSequential pins impairment equivalence: per-link
+// streams are consumed identically by both engines, so a lossy sharded run
+// matches a lossy sequential run drop for drop.
+func TestRunShardedImpairMatchesSequential(t *testing.T) {
+	mkImpair := func() *faults.Impairments {
+		im := faults.NewImpairments(21)
+		im.UseLinkStreams()
+		if err := im.SetDefault(faults.Profile{Loss: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+		return im
+	}
+	base := Scenario{
+		Graph:  smallMesh(t),
+		ISP:    12,
+		Config: dampingCfg(),
+		Pulses: 2,
+	}
+	base.Config.Seed = 17
+	seq := base
+	seq.Impair = mkImpair()
+	want, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Dropped == 0 {
+		t.Fatal("impaired run dropped nothing; the leg proves nothing")
+	}
+	sh := base
+	sh.Impair = mkImpair()
+	sh.Shards = 4
+	got, err := Run(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, want, got)
+}
+
+// TestRunShardedFaultPlanMatchesSequential drives a fault plan through both
+// engines: the plan's events are replicated per shard at the same virtual
+// times, so the traces stay identical.
+func TestRunShardedFaultPlanMatchesSequential(t *testing.T) {
+	plan, err := faults.ParsePlan(strings.NewReader(
+		"30s down 3 8\n90s up 3 8\n150s reset 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{
+		Graph:  smallMesh(t),
+		ISP:    3,
+		Config: dampingCfg(),
+		Pulses: 2,
+		Faults: plan,
+	}
+	base.Config.Seed = 8
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := base
+	sc.Shards = 2
+	got, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, want, got)
+}
+
+func TestShardedValidation(t *testing.T) {
+	g := smallMesh(t)
+	valid := func() Scenario {
+		return Scenario{Graph: g, ISP: 0, Config: dampingCfg(), Pulses: 1}
+	}
+	t.Run("negative", func(t *testing.T) {
+		sc := valid()
+		sc.Shards = -1
+		if _, err := Run(sc); err == nil {
+			t.Fatal("accepted negative shard count")
+		}
+	})
+	t.Run("watchdog", func(t *testing.T) {
+		sc := valid()
+		sc.Shards = 2
+		sc.Watchdog = &faults.WatchdogConfig{}
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "watchdog") {
+			t.Fatalf("want watchdog error, got %v", err)
+		}
+	})
+	t.Run("check", func(t *testing.T) {
+		sc := valid()
+		sc.Shards = 2
+		sc.Check = true
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "invariant checker") {
+			t.Fatalf("want checker error, got %v", err)
+		}
+	})
+	t.Run("global-stream-impairment", func(t *testing.T) {
+		sc := valid()
+		sc.Shards = 2
+		sc.Impair = faults.NewImpairments(1) // no UseLinkStreams
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "per-link") {
+			t.Fatalf("want per-link stream error, got %v", err)
+		}
+	})
+	t.Run("zero-lookahead", func(t *testing.T) {
+		sc := valid()
+		sc.Shards = 2
+		sc.Config.MinLinkDelay = 0
+		sc.Config.MinProcDelay = 0
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "lookahead") {
+			t.Fatalf("want lookahead error, got %v", err)
+		}
+	})
+	t.Run("checkpoint-rejects-sharded", func(t *testing.T) {
+		cp, err := NewCheckpoint(valid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := valid()
+		sc.Shards = 2
+		if _, err := cp.Run(sc); err == nil {
+			t.Fatal("checkpoint accepted a sharded scenario")
+		}
+	})
+}
+
+// TestFingerprintIgnoresShards pins the cache-identity design: the shard
+// count is an execution detail, so a sequential run's cached Result may stand
+// in for a sharded one and vice versa.
+func TestFingerprintIgnoresShards(t *testing.T) {
+	sc := Scenario{Graph: smallMesh(t), ISP: 0, Config: dampingCfg(), Pulses: 2}
+	a, ok := sc.Fingerprint()
+	if !ok {
+		t.Fatal("unfingerprintable")
+	}
+	sc.Shards = 8
+	b, ok := sc.Fingerprint()
+	if !ok {
+		t.Fatal("sharded scenario unfingerprintable")
+	}
+	if a != b {
+		t.Fatalf("fingerprint depends on shard count: %s vs %s", a, b)
+	}
+}
+
+// TestSweepSharded runs a sweep with Shards>1 (full runs, no checkpoint) and
+// checks each point against the sequential sweep.
+func TestSweepSharded(t *testing.T) {
+	base := Scenario{Graph: smallMesh(t), ISP: 5, Config: dampingCfg()}
+	base.Config.Seed = 3
+	pulses := []int{1, 2}
+	want, err := SweepParallel(base, pulses, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 2
+	got, err := SweepParallel(sharded, pulses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pulses {
+		if want[i].Result == nil || got[i].Result == nil {
+			t.Fatalf("point %d missing result", i)
+		}
+		assertResultsEqual(t, want[i].Result, got[i].Result)
+	}
+}
+
+// TestRunShardedTrace checks the user-facing trace log: flap-relative times,
+// same event count as the sequential run's log.
+func TestRunShardedTrace(t *testing.T) {
+	mk := func(shards int) Scenario {
+		sc := Scenario{Graph: smallMesh(t), ISP: 2, Config: dampingCfg(), Pulses: 1, Shards: shards}
+		sc.Config.Seed = 6
+		return sc
+	}
+	seq := mk(0)
+	seqLog := trace.NewLog(0)
+	seq.Trace = seqLog
+	if _, err := Run(seq); err != nil {
+		t.Fatal(err)
+	}
+	sh := mk(2)
+	shLog := trace.NewLog(0)
+	sh.Trace = shLog
+	if _, err := Run(sh); err != nil {
+		t.Fatal(err)
+	}
+	a, b := seqLog.Canonical(), shLog.Canonical()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace event %d differs:\nseq:   %+v\nshard: %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) > 0 && a[0].At < 0 {
+		t.Fatalf("trace times not flap-relative: first at %v", a[0].At)
+	}
+}

@@ -77,9 +77,17 @@ func SweepParallelContext(ctx context.Context, base Scenario, pulses []int, work
 	if workers > len(pulses) {
 		workers = len(pulses)
 	}
-	cp, err := NewCheckpointContext(ctx, base)
-	if err != nil {
-		return nil, err
+	// Sharded runs cannot fork a sequential checkpoint; each point is a full
+	// from-scratch run (runSweepPoint treats a nil checkpoint that way). The
+	// warm-up amortization is lost, but each point's internal parallelism is
+	// the point of sharding in the first place.
+	var cp *Checkpoint
+	if base.Shards <= 1 {
+		var err error
+		cp, err = NewCheckpointContext(ctx, base)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make([]SweepPoint, len(pulses))
 	for i, n := range pulses {
@@ -132,7 +140,13 @@ func runSweepPoint(ctx context.Context, cp *Checkpoint, base Scenario, pulses in
 		}
 	}()
 	sc := scWithPulses(base, pulses)
-	res, err := pointRunner(ctx, cp, sc)
+	var res *Result
+	var err error
+	if cp == nil {
+		res, err = RunContext(ctx, sc)
+	} else {
+		res, err = pointRunner(ctx, cp, sc)
+	}
 	if err != nil {
 		pt.Err = fmt.Errorf("experiment: sweep n=%d: %w", pulses, err)
 		return

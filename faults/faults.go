@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"rfd/bgp"
+	"rfd/topology"
 )
 
 // Wildcard, as an endpoint of a LossWindow event, matches every router.
@@ -198,7 +199,7 @@ func (p *Plan) Validate(n *bgp.Network) error {
 				return fmt.Errorf("faults: event %d (%s): no link %d-%d", i, e, e.A, e.B)
 			}
 		case KindRouterCrash, KindRouterRestart:
-			if n != nil && n.Router(e.Router) == nil {
+			if n != nil && (e.Router < 0 || int(e.Router) >= n.NumRouters()) {
 				return fmt.Errorf("faults: event %d (%s): no router %d", i, e, e.Router)
 			}
 		case KindLossWindow:
@@ -220,18 +221,14 @@ func (p *Plan) Validate(n *bgp.Network) error {
 }
 
 // linkExists reports whether the topology has an a-b link regardless of its
-// current up/down state.
+// current up/down state. The check is graph-based, not router-based: a shard
+// network of the sharded engine instantiates only the routers it owns, but
+// its topology still names every link.
 func linkExists(n *bgp.Network, a, b bgp.RouterID) bool {
-	ra := n.Router(a)
-	if ra == nil || n.Router(b) == nil {
+	if a < 0 || b < 0 || int(a) >= n.NumRouters() || int(b) >= n.NumRouters() {
 		return false
 	}
-	for _, q := range ra.Peers() {
-		if q == b {
-			return true
-		}
-	}
-	return false
+	return n.Graph().HasEdge(topology.NodeID(a), topology.NodeID(b))
 }
 
 // Apply validates the plan and schedules its events on the network's kernel,
@@ -281,6 +278,29 @@ func (p *Plan) Apply(n *bgp.Network, epoch time.Duration, imp *Impairments) erro
 				imp.AddWindow(at, at+e.Duration, e.Rate, e.A, e.B)
 				imp.AddWindow(at, at+e.Duration, e.Rate, e.B, e.A)
 			}
+		}
+	}
+	return nil
+}
+
+// ApplySharded schedules the plan on every shard of a sharded ensemble: each
+// shard's kernel executes every fault at the same virtual time against its
+// own replica of the link/session state (shard networks nil-guard the
+// routers they don't own), which is what keeps the replicas in lockstep.
+// imps, when non-nil, must hold one per-shard impairment model (same seed,
+// link-stream mode — see Impairments.UseLinkStreams) for loss windows to fold
+// into; pass nil when the plan has none.
+func (p *Plan) ApplySharded(sn *bgp.ShardedNetwork, epoch time.Duration, imps []*Impairments) error {
+	if imps != nil && len(imps) != sn.NumShards() {
+		return fmt.Errorf("faults: %d impairment models for %d shards", len(imps), sn.NumShards())
+	}
+	for s := 0; s < sn.NumShards(); s++ {
+		var imp *Impairments
+		if imps != nil {
+			imp = imps[s]
+		}
+		if err := p.Apply(sn.Shard(s), epoch, imp); err != nil {
+			return err
 		}
 	}
 	return nil

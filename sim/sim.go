@@ -312,6 +312,49 @@ func (k *Kernel) RunUntil(horizon time.Duration) error {
 	return nil
 }
 
+// RunBefore fires events with time strictly less than horizon, leaving events
+// at or after the horizon pending. Unlike RunUntil it does not advance the
+// clock to the horizon: the clock is left at the last fired event (or wherever
+// it already was), so a caller may still schedule events at any instant >= the
+// last fired one — which is exactly what the sharded coordinator's cross-shard
+// injection needs at an epoch barrier.
+//
+// The exclusive boundary is deliberate and load-bearing: an epoch [T, T+L)
+// must not execute events at exactly T+L, because a cross-shard message sent
+// inside the epoch can arrive at exactly T+L (lookahead L is the minimum
+// cross-shard latency, and the minimum is attained). RunUntil's inclusive
+// horizon would fire the boundary instant's local events before that message
+// could be injected, breaking the sequential-equivalence guarantee. See
+// TestRunBoundarySemantics for the pinned contract.
+func (k *Kernel) RunBefore(horizon time.Duration) error {
+	for {
+		headAt, ok := k.q.PeekTime()
+		if !ok || headAt >= horizon {
+			return nil
+		}
+		if k.executed >= k.maxEvents {
+			return fmt.Errorf("%w (%d events, now %v)", ErrEventLimit, k.executed, k.now)
+		}
+		k.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to at without firing anything. It panics
+// if an event earlier than at is pending (advancing past it would corrupt the
+// causal order) or if at precedes the current clock. The sharded coordinator
+// uses it to align every shard's clock at a barrier instant so that
+// subsequent relative scheduling (flap pulses, fault plans) sees one
+// consistent "now" across shards.
+func (k *Kernel) AdvanceTo(at time.Duration) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: advance to %v before now %v", at, k.now))
+	}
+	if headAt, ok := k.q.PeekTime(); ok && headAt < at {
+		panic(fmt.Sprintf("sim: advance to %v past pending event at %v", at, headAt))
+	}
+	k.now = at
+}
+
 // interrupted builds the typed stop error for a tripped context.
 func (k *Kernel) interrupted(ctx context.Context) error {
 	return fmt.Errorf("%w at %v (%d events): %w", ErrInterrupted, k.now, k.executed, context.Cause(ctx))

@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseASRelationships reads a CAIDA-style AS-relationship dataset (the
+// "serial-1" text format) and returns a relationship-annotated graph:
+//
+//	# comment lines are ignored
+//	<provider-as>|<customer-as>|-1     provider-to-customer link
+//	<as>|<as>|0                        peer-to-peer link
+//
+// Anything after the third field (serial-2 appends the inference source) is
+// ignored. AS numbers are mapped to dense NodeIDs in ascending AS-number
+// order, so the graph — and therefore every seeded simulation on it — is
+// independent of line order. Provider-to-customer lines are annotated
+// RelCustomer as seen from the provider (the customer is the provider's
+// customer); peer lines are RelPeer. Duplicate links with conflicting
+// relationships, self-loops and malformed lines are errors naming the line
+// number. Lines longer than 1 MiB abort with an error rather than silently
+// truncating (same convention as faults.ParsePlan).
+//
+// name labels the returned graph (topology.Graph.Name).
+func ParseASRelationships(r io.Reader, name string) (*Graph, error) {
+	type rawLink struct {
+		a, b int64 // AS numbers, a < b
+		rel  Relationship
+		line int
+	}
+	var links []rawLink
+	asSet := make(map[int64]struct{})
+
+	sc := bufio.NewScanner(r)
+	// The default token limit is 64 KiB; a corrupt or concatenated dump can
+	// exceed it. 1 MiB matches faults.ParsePlan.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("topology: line %d: want as|as|rel, got %q", lineno, line)
+		}
+		asA, err := parseASN(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: first AS: %w", lineno, err)
+		}
+		asB, err := parseASN(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: second AS: %w", lineno, err)
+		}
+		if asA == asB {
+			return nil, fmt.Errorf("topology: line %d: self-loop on AS%d", lineno, asA)
+		}
+		var rel Relationship
+		switch strings.TrimSpace(fields[2]) {
+		case "-1":
+			// provider|customer: from the provider's (first) side, the
+			// neighbor is a customer.
+			rel = RelCustomer
+		case "0":
+			rel = RelPeer
+		default:
+			return nil, fmt.Errorf("topology: line %d: relationship %q (want -1 or 0)", lineno, fields[2])
+		}
+		a, b := asA, asB
+		if a > b {
+			a, b = b, a
+			if rel == RelCustomer {
+				// Kept canonical low-AS-first: the low AS sees its provider.
+				rel = RelProvider
+			}
+		}
+		links = append(links, rawLink{a: a, b: b, rel: rel, line: lineno})
+		asSet[asA] = struct{}{}
+		asSet[asB] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		// The scanner stops at the offending line (e.g. one exceeding the
+		// buffer limit), which is the line after the last successful scan.
+		return nil, fmt.Errorf("topology: line %d: %w", lineno+1, err)
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("topology: no links in AS-relationship input")
+	}
+
+	// Dense ids in ascending AS-number order: deterministic regardless of
+	// input line order.
+	asns := make([]int64, 0, len(asSet))
+	for as := range asSet {
+		asns = append(asns, as)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	id := make(map[int64]NodeID, len(asns))
+	g := New(name, len(asns))
+	for i, as := range asns {
+		id[as] = NodeID(i)
+	}
+	seen := make(map[[2]NodeID]Relationship, len(links))
+	for _, l := range links {
+		na, nb := id[l.a], id[l.b]
+		key := [2]NodeID{na, nb}
+		if prev, dup := seen[key]; dup {
+			if prev != l.rel {
+				return nil, fmt.Errorf("topology: line %d: link AS%d-AS%d re-declared with a conflicting relationship", l.line, l.a, l.b)
+			}
+			continue // exact duplicate: tolerate
+		}
+		seen[key] = l.rel
+		if err := g.AddEdge(na, nb); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", l.line, err)
+		}
+		if err := g.SetRelationship(na, nb, l.rel); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", l.line, err)
+		}
+	}
+	return g, nil
+}
+
+// parseASN parses one AS-number field (non-negative decimal, 32-bit range).
+func parseASN(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad AS number %q", s)
+	}
+	if v < 0 || v > 1<<32-1 {
+		return 0, fmt.Errorf("AS number %d outside [0, 2^32)", v)
+	}
+	return v, nil
+}
+
+// LoadASRelationships reads a CAIDA-style AS-relationship file from disk.
+// The graph is named after the file.
+func LoadASRelationships(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	return ParseASRelationships(f, path)
+}

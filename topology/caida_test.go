@@ -1,0 +1,208 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const caidaSample = `# source: test fixture, serial-1 format
+# provider|customer|-1, peer|peer|0
+701|7018|0
+701|64512|-1
+7018|64512|-1
+64512|65001|-1
+65001|701|0   # trailing comment
+`
+
+func TestParseASRelationships(t *testing.T) {
+	g, err := ParseASRelationships(strings.NewReader(caidaSample), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "sample" {
+		t.Errorf("name = %q, want sample", g.Name())
+	}
+	// ASNs in ascending order: 701→0, 7018→1, 64512→2, 65001→3.
+	if got, want := g.NumNodes(), 4; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 5; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	if !g.Annotated() {
+		t.Fatal("graph not relationship-annotated")
+	}
+	const (
+		as701   = NodeID(0)
+		as7018  = NodeID(1)
+		as64512 = NodeID(2)
+		as65001 = NodeID(3)
+	)
+	checks := []struct {
+		a, b NodeID
+		want Relationship
+	}{
+		{as701, as7018, RelPeer},
+		{as7018, as701, RelPeer},
+		{as701, as64512, RelCustomer}, // 701 provides transit to 64512
+		{as64512, as701, RelProvider}, // 64512's view of its provider
+		{as7018, as64512, RelCustomer},
+		{as64512, as65001, RelCustomer},
+		{as65001, as64512, RelProvider},
+		{as65001, as701, RelPeer},
+	}
+	for _, c := range checks {
+		if got := g.Relationship(c.a, c.b); got != c.want {
+			t.Errorf("Relationship(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestParseASRelationshipsLineOrderIndependent pins the dense-id mapping to
+// ascending AS number: shuffling lines must yield an identical graph.
+func TestParseASRelationshipsLineOrderIndependent(t *testing.T) {
+	lines := []string{
+		"701|64512|-1",
+		"7018|64512|-1",
+		"701|7018|0",
+		"65001|701|0",
+		"64512|65001|-1",
+	}
+	a, err := ParseASRelationships(strings.NewReader(strings.Join(lines, "\n")), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+		lines[i], lines[j] = lines[j], lines[i]
+	}
+	b, err := ParseASRelationships(strings.NewReader(strings.Join(lines, "\n")), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for v := NodeID(0); int(v) < a.NumNodes(); v++ {
+		for _, w := range a.Neighbors(v) {
+			if !b.HasEdge(v, w) {
+				t.Fatalf("edge %d-%d present in a, missing in b", v, w)
+			}
+			if ra, rb := a.Relationship(v, w), b.Relationship(v, w); ra != rb {
+				t.Fatalf("rel(%d,%d) = %v in a, %v in b", v, w, ra, rb)
+			}
+		}
+	}
+}
+
+// TestParseASRelationshipsCanonicalSwap pins the provider-side annotation when
+// the provider has the *higher* AS number: the low-AS side must see
+// RelProvider.
+func TestParseASRelationshipsCanonicalSwap(t *testing.T) {
+	// 9000 is the provider of 100; ids: 100→0, 9000→1.
+	g, err := ParseASRelationships(strings.NewReader("9000|100|-1\n"), "swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Relationship(NodeID(0), NodeID(1)); got != RelProvider {
+		t.Errorf("low AS's view = %v, want RelProvider", got)
+	}
+	if got := g.Relationship(NodeID(1), NodeID(0)); got != RelCustomer {
+		t.Errorf("high AS's view = %v, want RelCustomer", got)
+	}
+}
+
+func TestParseASRelationshipsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring of the error
+	}{
+		{"empty", "", "no links"},
+		{"comments-only", "# a\n# b\n", "no links"},
+		{"too-few-fields", "701|7018\n", "line 1: want as|as|rel"},
+		{"bad-first-asn", "x|7018|0\n", "line 1: first AS"},
+		{"bad-second-asn", "701|-7018|0\n", "line 1: second AS"},
+		{"asn-out-of-range", "701|4294967296|0\n", "line 1: second AS"},
+		{"self-loop", "701|701|0\n", "line 1: self-loop on AS701"},
+		{"bad-rel", "701|7018|2\n", `line 1: relationship "2"`},
+		{"conflicting-dup", "701|7018|0\n701|7018|-1\n", "line 2"},
+		{"conflict-swapped-order", "701|7018|-1\n7018|701|-1\n", "line 2"},
+		{"line-number-counts-comments", "# header\n\n701|7018\n", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseASRelationships(strings.NewReader(c.input), c.name)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseASRelationshipsDuplicateTolerated(t *testing.T) {
+	g, err := ParseASRelationships(strings.NewReader("701|7018|-1\n701|7018|-1\n"), "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+// TestParseASRelationshipsLongLine pins the 1 MiB scanner limit (same
+// convention as faults.ParsePlan): an oversized line errors with its line
+// number instead of silently truncating.
+func TestParseASRelationshipsLongLine(t *testing.T) {
+	long := "701|7018|0\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err := ParseASRelationships(strings.NewReader(long), "long")
+	if err == nil {
+		t.Fatal("parse succeeded on a 2 MiB line")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+func FuzzParseASRelationships(f *testing.F) {
+	f.Add(caidaSample)
+	f.Add("701|7018|0\n")
+	f.Add("9000|100|-1\n")
+	f.Add("")
+	f.Add("# only comments\n")
+	f.Add("701|7018\n")
+	f.Add("x|y|z\n")
+	f.Add("701|701|0\n")
+	f.Add("701|7018|0\n701|7018|-1\n")
+	f.Add("1|2|-1|inference-source\n")
+	f.Add("4294967295|0|0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseASRelationships(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		// A successful parse must yield a structurally sound, annotated graph
+		// whose every edge carries a consistent pair of relationship views.
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("successful parse returned empty graph (%d nodes, %d edges)",
+				g.NumNodes(), g.NumEdges())
+		}
+		if !g.Annotated() {
+			t.Fatal("successful parse returned unannotated graph")
+		}
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			for _, w := range g.Neighbors(v) {
+				r, inv := g.Relationship(v, w), g.Relationship(w, v)
+				if r == RelNone || inv == RelNone {
+					t.Fatalf("edge %d-%d missing annotation", v, w)
+				}
+				if r.invert() != inv {
+					t.Fatalf("edge %d-%d views inconsistent: %v vs %v", v, w, r, inv)
+				}
+			}
+		}
+	})
+}

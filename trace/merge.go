@@ -1,0 +1,46 @@
+package trace
+
+import "sort"
+
+// Canonical returns the log's events in canonical order: a stable sort by
+// (At, Router). The sharded engine records events in per-shard logs, so raw
+// record order differs from the sequential engine's even when every event is
+// identical; both engines preserve each router's per-instant event order in
+// its own stream, so the stable (At, Router) sort maps both recordings onto
+// one comparable sequence. Use with Merge to compare engines byte for byte.
+func (l *Log) Canonical() []Event {
+	out := l.Events()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Router < out[j].Router
+	})
+	return out
+}
+
+// Merge combines several logs (e.g. one per shard) into a single log in
+// canonical (At, Router) order, preserving each input's relative order for
+// equal keys — inputs are concatenated in argument order before the stable
+// sort, so per-router streams stay intact as long as each router's events
+// live in exactly one input log. Dropped counts are summed: a merge of
+// truncated logs is itself marked truncated.
+func Merge(logs ...*Log) *Log {
+	total, dropped := 0, 0
+	for _, l := range logs {
+		total += l.Len()
+		dropped += l.Dropped()
+	}
+	m := &Log{capacity: total, dropped: dropped}
+	m.events = make([]Event, 0, total)
+	for _, l := range logs {
+		m.events = append(m.events, l.events...)
+	}
+	sort.SliceStable(m.events, func(i, j int) bool {
+		if m.events[i].At != m.events[j].At {
+			return m.events[i].At < m.events[j].At
+		}
+		return m.events[i].Router < m.events[j].Router
+	})
+	return m
+}
