@@ -7,6 +7,7 @@ import (
 
 	"rfd/bgp"
 	"rfd/damping"
+	"rfd/experiment"
 	"rfd/sim"
 	"rfd/topology"
 )
@@ -146,5 +147,86 @@ func benchShardRun(b *testing.B, g *topology.Graph, pulses, shards int, minLink 
 	if shards > 1 {
 		b.ReportMetric(stats.Parallelism(), "parallelism")
 		b.ReportMetric(float64(stats.Epochs), "epochs")
+	}
+}
+
+// BenchmarkShardedSweep measures warm-up amortization on the sharded engine:
+// "scratch" converges the partitioned ensemble from nothing for every pulse
+// point (the execution model sharded sweeps were silently stuck with before
+// sharded checkpoints existed), "fork" converges once, parks a sharded
+// snapshot, and forks it per point — experiment.SweepParallel's model for
+// Shards > 1. Both legs run the points sequentially so the comparison isolates
+// checkpoint reuse from parallelism. The fork leg reports the one-off warm-up
+// cost (warmup_ms) next to the whole-sweep time: the flap phase dominates
+// damped internet sweeps, so the wall-clock win is bounded by the warm-up
+// share per point — which is also exactly the latency a pooled-snapshot hit in
+// rfdd shaves off every repeat request. Results are recorded in
+// BENCH_shard.json; refresh with
+//
+//	go test -run '^$' -bench BenchmarkShardedSweep -benchtime 3x .
+func BenchmarkShardedSweep(b *testing.B) {
+	for _, nodes := range []int{208, 2000} {
+		nodes := nodes
+		mkBase := func(b *testing.B) (experiment.Scenario, []int) {
+			b.Helper()
+			g, err := topology.InternetDerived(topology.DefaultInternetConfig(nodes, 3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := bgp.DefaultConfig()
+			params := damping.Cisco()
+			cfg.Damping = &params
+			cfg.Seed = 13
+			return experiment.Scenario{
+				Graph:  g,
+				ISP:    topology.NodeID(g.NumNodes() / 2),
+				Config: cfg,
+				Shards: 4,
+			}, experiment.PulseRange(0, 4)
+		}
+		b.Run(fmt.Sprintf("internet-%d/scratch", nodes), func(b *testing.B) {
+			base, pulses := mkBase(b)
+			b.ReportAllocs()
+			var last *experiment.Result
+			for i := 0; i < b.N; i++ {
+				for _, n := range pulses {
+					sc := base
+					sc.Pulses = n
+					res, err := experiment.Run(sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+			}
+			b.ReportMetric(last.ConvergenceTime.Seconds(), "conv_s")
+			b.ReportMetric(float64(last.MessageCount), "msgs")
+		})
+		b.Run(fmt.Sprintf("internet-%d/fork", nodes), func(b *testing.B) {
+			base, pulses := mkBase(b)
+			b.ReportAllocs()
+			var last *experiment.Result
+			var warmup time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				cp, err := experiment.NewCheckpoint(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warmup += time.Since(t0)
+				for _, n := range pulses {
+					sc := base
+					sc.Pulses = n
+					res, err := cp.Run(sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+			}
+			b.ReportMetric(float64(warmup.Milliseconds())/float64(b.N), "warmup_ms")
+			b.ReportMetric(last.ConvergenceTime.Seconds(), "conv_s")
+			b.ReportMetric(float64(last.MessageCount), "msgs")
+		})
 	}
 }

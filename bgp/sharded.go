@@ -427,7 +427,12 @@ func (sn *ShardedNetwork) CheckConsistency() error {
 // Fork returns an independent copy of the ensemble, leaving the original
 // untouched. The ensemble must be quiescent at a barrier with empty
 // outboxes — fork at the same instants you would snapshot the sequential
-// engine (experiment checkpoints are taken at quiescent epochs).
+// engine (experiment checkpoints are taken at quiescent epochs). The kernel
+// group is forked as a unit (sim.ShardGroup.Fork), so the copy's coordinator
+// resumes with the parent's epoch statistics, exactly as a from-scratch run
+// would report; each shard network is then forked onto its pre-forked kernel
+// and rebound to the copy's outboxes. Safe for concurrent Fork calls on the
+// same parked ensemble — forking only reads.
 func (sn *ShardedNetwork) Fork() (*ShardedNetwork, error) {
 	for _, box := range sn.outbox {
 		if len(box) > 0 {
@@ -435,27 +440,60 @@ func (sn *ShardedNetwork) Fork() (*ShardedNetwork, error) {
 		}
 	}
 	f := &ShardedNetwork{
-		graph:   sn.graph,
-		cfg:     sn.cfg,
-		owner:   sn.owner,
-		shards:  make([]*Network, len(sn.shards)),
-		kernels: make([]*sim.Kernel, len(sn.shards)),
-		outbox:  make([][]remoteMsg, len(sn.shards)),
-		seq:     append([]uint64(nil), sn.seq...),
+		graph:  sn.graph,
+		cfg:    sn.cfg,
+		owner:  sn.owner,
+		shards: make([]*Network, len(sn.shards)),
+		outbox: make([][]remoteMsg, len(sn.shards)),
+		seq:    append([]uint64(nil), sn.seq...),
 	}
+	group, err := sn.group.Fork(f)
+	if err != nil {
+		return nil, err
+	}
+	f.group = group
+	f.kernels = append([]*sim.Kernel(nil), group.Kernels()...)
 	for s, n := range sn.shards {
-		fn, err := n.fork()
+		fn, err := n.forkOnto(f.kernels[s])
 		if err != nil {
 			return nil, err
 		}
 		f.bindShard(fn, int32(s))
 		f.shards[s] = fn
-		f.kernels[s] = fn.Kernel()
 	}
-	group, err := sim.NewShardGroup(sn.group.Lookahead(), f.kernels, f)
+	return f, nil
+}
+
+// ShardedSnapshot is an immutable checkpoint of a sharded ensemble, taken
+// with ShardedNetwork.Snapshot. Like the sequential bgp.Snapshot it holds a
+// private fork that is never run; Fork stamps out any number of independent,
+// runnable copies. Safe for concurrent Fork calls from multiple goroutines —
+// sweep workers each fork their own copy — because forking only reads the
+// parked state (the parked group's worker pool is never started).
+type ShardedSnapshot struct {
+	parked *ShardedNetwork
+}
+
+// Snapshot captures the ensemble at the current barrier. The same
+// preconditions as Fork apply (quiescent at a barrier, empty outboxes); the
+// ensemble is unaffected and may continue running.
+func (sn *ShardedNetwork) Snapshot() (*ShardedSnapshot, error) {
+	parked, err := sn.Fork()
 	if err != nil {
 		return nil, err
 	}
-	f.group = group
-	return f, nil
+	return &ShardedSnapshot{parked: parked}, nil
+}
+
+// Now returns the virtual time the snapshot was taken at.
+func (s *ShardedSnapshot) Now() time.Duration { return s.parked.Now() }
+
+// NumShards returns the shard count captured in the snapshot.
+func (s *ShardedSnapshot) NumShards() int { return s.parked.NumShards() }
+
+// Fork materializes an independent runnable ensemble from the checkpoint.
+// Every copy starts from the identical state; given identical subsequent
+// stimuli they produce identical event sequences. No hooks are installed.
+func (s *ShardedSnapshot) Fork() (*ShardedNetwork, error) {
+	return s.parked.Fork()
 }

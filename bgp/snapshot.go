@@ -90,6 +90,16 @@ func (n *Network) Fork() (*sim.Kernel, *Network, error) {
 // (pure reads of the receiver); running the receiver concurrently with
 // forking it is not.
 func (n *Network) fork() (*Network, error) {
+	return n.forkOnto(n.kernel.Fork())
+}
+
+// forkOnto builds the deep copy onto k2, which must be a fork of n's kernel
+// taken at the same instant (queue clones preserve slot indices and
+// generations, so the Timer handles embedded in RIB entries adopt cleanly
+// only against a true fork). The split exists for the sharded engine:
+// ShardedNetwork.Fork forks the whole kernel group first, then forks each
+// shard network onto its pre-forked kernel.
+func (n *Network) forkOnto(k2 *sim.Kernel) (*Network, error) {
 	var impair LinkImpairment
 	if n.impair != nil {
 		forker, ok := n.impair.(ImpairmentForker)
@@ -98,7 +108,6 @@ func (n *Network) fork() (*Network, error) {
 		}
 		impair = forker.ForkImpairment()
 	}
-	k2 := n.kernel.Fork()
 	f := &Network{
 		kernel:            k2,
 		graph:             n.graph, // never mutated after construction

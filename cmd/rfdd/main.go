@@ -54,6 +54,7 @@ func main() {
 		concurrency = fs.Int("concurrency", 2, "max requests simulating at once")
 		timeout     = fs.Duration("timeout", 5*time.Minute, "per-request deadline cap")
 		drain       = fs.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
+		snapshots   = fs.Int("snapshots", experiment.DefaultPoolSize, "converged-snapshot pool capacity (0 disables warm-up reuse)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -63,6 +64,7 @@ func main() {
 		Queue:       *queue,
 		Concurrency: *concurrency,
 		Timeout:     *timeout,
+		Snapshots:   *snapshots,
 	})
 	if err != nil {
 		log.Fatalf("rfdd: %v", err)
@@ -105,14 +107,19 @@ type serverConfig struct {
 	Queue       int
 	Concurrency int
 	Timeout     time.Duration
+	// Snapshots bounds the converged-snapshot pool (warm-up states keyed by
+	// scenario fingerprint, LRU-evicted). <= 0 disables the pool.
+	Snapshots int
 }
 
 // server is the shared state behind every request: one run cache (optionally
-// persistent) and the admission-control semaphores.
+// persistent), the converged-snapshot pool, and the admission-control
+// semaphores.
 type server struct {
 	cfg     serverConfig
 	cache   *experiment.RunCache
-	disk    *diskcache.Cache // nil when memory-only
+	disk    *diskcache.Cache           // nil when memory-only
+	pool    *experiment.CheckpointPool // nil when disabled
 	started time.Time
 
 	// Admission control: queueSlots bounds waiting+running requests;
@@ -149,6 +156,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 		s.disk = disk
 		s.cache.SetStore(disk)
+	}
+	if cfg.Snapshots > 0 {
+		s.pool = experiment.NewCheckpointPool(cfg.Snapshots)
+		s.cache.SetCheckpointPool(s.pool)
 	}
 	return s, nil
 }
@@ -426,6 +437,13 @@ type healthz struct {
 	MemoryOnly    bool    `json:"memory_only"`
 	Concurrency   int     `json:"concurrency"`
 	QueueCapacity int     `json:"queue_capacity"`
+	// Snapshot pool: warm-up reuse. A snapshot hit means a cache-miss request
+	// skipped its convergence phase by forking a pooled checkpoint.
+	SnapshotCapacity  int    `json:"snapshot_capacity"`
+	SnapshotsPooled   int    `json:"snapshots_pooled"`
+	SnapshotHits      uint64 `json:"snapshot_hits"`
+	SnapshotMisses    uint64 `json:"snapshot_misses"`
+	SnapshotEvictions uint64 `json:"snapshot_evictions"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -450,6 +468,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		loads, _, stores, corrupt, _ := s.disk.Stats()
 		h.DiskLoads, h.DiskStores, h.DiskCorrupt = loads, stores, corrupt
 		h.DiskCacheDir = s.disk.Dir()
+	}
+	if s.pool != nil {
+		h.SnapshotCapacity = s.cfg.Snapshots
+		h.SnapshotsPooled = s.pool.Len()
+		h.SnapshotHits, h.SnapshotMisses, h.SnapshotEvictions = s.pool.Stats()
 	}
 	writeJSON(w, h)
 }

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -189,6 +191,74 @@ func TestHealthz(t *testing.T) {
 	}
 	if hz.DiskCacheDir != dir {
 		t.Fatalf("healthz cache dir = %q, want %q", hz.DiskCacheDir, dir)
+	}
+}
+
+// TestSnapshotPool pins the converged-snapshot pool end to end: a repeat
+// request for the same scenario with fresh pulse counts forks the pooled
+// warm-up instead of re-converging, and healthz surfaces the pool counters.
+func TestSnapshotPool(t *testing.T) {
+	s := testServer(t, serverConfig{Snapshots: 4})
+	if s.pool == nil {
+		t.Fatal("Snapshots > 0 did not wire a checkpoint pool")
+	}
+	h := s.routes()
+	if rec, _ := postSweep(t, h, `{"rows":4,"cols":4,"damping":"cisco","pulses":[0,1]}`); rec.Code != http.StatusOK {
+		t.Fatalf("first sweep status = %d", rec.Code)
+	}
+	if rec, _ := postSweep(t, h, `{"rows":4,"cols":4,"damping":"cisco","pulses":[2,3]}`); rec.Code != http.StatusOK {
+		t.Fatalf("second sweep status = %d", rec.Code)
+	}
+	hits, misses, _ := s.pool.Stats()
+	if misses != 1 || hits < 1 {
+		t.Fatalf("pool stats hits=%d misses=%d, want one warm-up reused by the second sweep", hits, misses)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	var hz healthz
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.SnapshotCapacity != 4 || hz.SnapshotsPooled != 1 {
+		t.Fatalf("healthz pool shape = capacity %d pooled %d, want 4/1", hz.SnapshotCapacity, hz.SnapshotsPooled)
+	}
+	if hz.SnapshotHits != hits || hz.SnapshotMisses != misses {
+		t.Fatalf("healthz pool stats = %d/%d, pool reports %d/%d", hz.SnapshotHits, hz.SnapshotMisses, hits, misses)
+	}
+}
+
+// TestSnapshotPoolConcurrent races several sweeps sharing one warm-up through
+// the full HTTP stack: singleflight population must converge exactly once.
+// Under -race this doubles as the pool's integration race check.
+func TestSnapshotPoolConcurrent(t *testing.T) {
+	s := testServer(t, serverConfig{Snapshots: 4, Concurrency: 4, Queue: 8})
+	h := s.routes()
+	var wg sync.WaitGroup
+	codes := make([]int, 4)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := `{"rows":4,"cols":4,"damping":"cisco","pulses":[` + strconv.Itoa(i) + `]}`
+			req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(body)))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("sweep %d status = %d", i, code)
+		}
+	}
+	if hits, misses, _ := s.pool.Stats(); misses != 1 || hits != 3 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 3/1 (singleflight warm-up)", hits, misses)
 	}
 }
 

@@ -1,0 +1,343 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func poolScenario(t *testing.T, seed uint64) Scenario {
+	t.Helper()
+	cfg := dampingCfg()
+	cfg.Seed = seed
+	return Scenario{Graph: smallMesh(t), ISP: 0, Config: cfg, Pulses: 2}
+}
+
+// TestCheckpointPoolSingleflight pins the pool's population contract: N
+// concurrent requests for the same warm-up identity converge on exactly one
+// convergence run, and every caller gets the same shared checkpoint.
+func TestCheckpointPoolSingleflight(t *testing.T) {
+	pool := NewCheckpointPool(4)
+	sc := poolScenario(t, 1)
+	const callers = 8
+	got := make([]*Checkpoint, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := pool.Get(context.Background(), sc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = cp
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a different checkpoint instance", i)
+		}
+	}
+	hits, misses, _ := pool.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool holds %d entries, want 1", pool.Len())
+	}
+
+	// The pooled checkpoint must behave exactly like a fresh one.
+	want, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got[0].Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, want, res)
+}
+
+// TestCheckpointPoolLRUEviction pins the bound: a full pool evicts the least
+// recently used checkpoint, and an evicted identity re-converges on its next
+// request.
+func TestCheckpointPoolLRUEviction(t *testing.T) {
+	pool := NewCheckpointPool(2)
+	ctx := context.Background()
+	a, b, c := poolScenario(t, 1), poolScenario(t, 2), poolScenario(t, 3)
+	for _, sc := range []Scenario{a, b, c} {
+		if _, err := pool.Get(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("pool holds %d entries, want 2", pool.Len())
+	}
+	if _, _, evictions := pool.Stats(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	// b and c are resident; a (the LRU victim) must re-converge.
+	for _, sc := range []Scenario{b, c} {
+		if _, err := pool.Get(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, missesBefore, _ := pool.Stats()
+	if _, err := pool.Get(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := pool.Stats(); misses != missesBefore+1 {
+		t.Fatalf("evicted identity did not re-converge: misses %d -> %d", missesBefore, misses)
+	}
+}
+
+// TestCheckpointPoolErrorNotCached pins the no-negative-caching rule: a
+// failed warm-up leaves no pool entry, so the next request retries.
+func TestCheckpointPoolErrorNotCached(t *testing.T) {
+	pool := NewCheckpointPool(4)
+	sc := poolScenario(t, 1)
+	sc.Shards = -1 // fingerprints fine, fails validation at warm-up
+	for i := 0; i < 2; i++ {
+		if _, err := pool.Get(context.Background(), sc); err == nil {
+			t.Fatal("invalid scenario converged")
+		}
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("failed population left %d pool entries", pool.Len())
+	}
+	if _, misses, _ := pool.Stats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2 (no negative caching)", misses)
+	}
+}
+
+// TestCheckpointPoolChaos hammers a small pool from many goroutines across
+// more identities than it can hold — constant hits, misses and evictions
+// interleaving — and checks every run against its reference Result. Run under
+// -race this is the pool's data-race certificate.
+func TestCheckpointPoolChaos(t *testing.T) {
+	const identities = 5
+	scenarios := make([]Scenario, identities)
+	refs := make([]*Result, identities)
+	for i := range scenarios {
+		scenarios[i] = poolScenario(t, uint64(i+1))
+		scenarios[i].Pulses = 1
+		ref, err := Run(scenarios[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	pool := NewCheckpointPool(2)
+	ctx := context.Background()
+	const workers = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := (w*iters + i*3) % identities // deterministic interleave, no two workers in phase
+				cp, err := pool.Get(ctx, scenarios[id])
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				res, err := cp.RunContext(ctx, scenarios[id])
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res.MessageCount != refs[id].MessageCount || res.ConvergenceTime != refs[id].ConvergenceTime {
+					t.Errorf("worker %d identity %d: pooled run diverged (%d msgs %v vs %d msgs %v)",
+						w, id, res.MessageCount, res.ConvergenceTime, refs[id].MessageCount, refs[id].ConvergenceTime)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pool.Len() > 2 {
+		t.Fatalf("pool overflowed its bound: %d entries", pool.Len())
+	}
+	hits, misses, evictions := pool.Stats()
+	if hits+misses != workers*iters {
+		t.Fatalf("stats leak: hits %d + misses %d != %d gets", hits, misses, workers*iters)
+	}
+	if evictions == 0 {
+		t.Fatal("chaos never evicted; the test is not exercising the bound")
+	}
+}
+
+// TestRunCachePooledRun pins the RunCache integration: with a pool layered
+// under the cache, a second cache miss sharing the warm-up forks the pooled
+// checkpoint (a snapshot hit) and still produces the reference Result.
+func TestRunCachePooledRun(t *testing.T) {
+	base := poolScenario(t, 1)
+	want2, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc3 := base
+	sc3.Pulses = 3
+	want3, err := Run(sc3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewRunCache()
+	pool := NewCheckpointPool(4)
+	c.SetCheckpointPool(pool)
+	got2, err := c.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, err := c.Run(sc3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, want2, got2)
+	assertResultsEqual(t, want3, got3)
+	if hits, misses, _ := pool.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 1/1 (second run reuses the warm-up)", hits, misses)
+	}
+	// A cache hit never touches the pool.
+	if _, err := c.Run(base); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := pool.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("cache hit leaked into the pool: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestRunCachePooledSweep pins the sweep path: a cached sweep with a pool
+// builds (or reuses) one pooled warm-up for all its miss points, and a repeat
+// sweep with fresh pulse counts is a pure snapshot hit.
+func TestRunCachePooledSweep(t *testing.T) {
+	base := poolScenario(t, 1)
+	ref, err := SweepParallel(base, []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewRunCache()
+	pool := NewCheckpointPool(4)
+	c.SetCheckpointPool(pool)
+	got, err := c.Sweep(base, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c.Sweep(base, []int{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range append(got, got2...) {
+		assertResultsEqual(t, ref[i].Result, pt.Result)
+	}
+	if hits, misses, _ := pool.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 1/1 (second sweep skips warm-up)", hits, misses)
+	}
+}
+
+// TestRunCacheCrossEngineCheckpoints pins the cache-identity design across
+// engines now that both fork checkpoints: fingerprints ignore Shards, so a
+// point computed via sharded fork is a cache hit for a sequential request and
+// vice versa — even though their checkpoints pool under distinct keys.
+func TestRunCacheCrossEngineCheckpoints(t *testing.T) {
+	base := poolScenario(t, 1)
+	sharded := base
+	sharded.Shards = 2
+
+	t.Run("sharded-then-sequential", func(t *testing.T) {
+		c := NewRunCache()
+		c.SetCheckpointPool(NewCheckpointPool(4))
+		first, err := c.Run(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Fatal("sequential request missed the sharded-computed entry")
+		}
+		if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+			t.Fatalf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+		}
+	})
+	t.Run("sequential-then-sharded", func(t *testing.T) {
+		c := NewRunCache()
+		c.SetCheckpointPool(NewCheckpointPool(4))
+		first, err := c.Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Run(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Fatal("sharded request missed the sequentially-computed entry")
+		}
+		if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+			t.Fatalf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+		}
+	})
+	// The pool, unlike the cache, must keep the engines apart: parked kernel
+	// state is engine-specific even when the Results are interchangeable.
+	t.Run("pool-keys-distinct", func(t *testing.T) {
+		seqKey, ok1 := base.poolKey()
+		shKey, ok2 := sharded.poolKey()
+		if !ok1 || !ok2 {
+			t.Fatal("unpoolable scenarios")
+		}
+		if seqKey == shKey {
+			t.Fatal("sequential and sharded warm-ups share a pool key")
+		}
+	})
+}
+
+// TestSweepShardedForksPerPoint is the regression test for the silent
+// from-scratch fallback sharded sweeps used to take: every sharded sweep
+// point must now run through the fork-per-point runner on a sharded
+// checkpoint, and the points must match from-scratch sharded runs.
+func TestSweepShardedForksPerPoint(t *testing.T) {
+	var forked atomic.Int32
+	old := pointRunner
+	pointRunner = func(ctx context.Context, cp *Checkpoint, sc Scenario) (*Result, error) {
+		if cp.Shards() != sc.Shards {
+			return nil, fmt.Errorf("point n=%d forked a Shards=%d checkpoint for a Shards=%d scenario", sc.Pulses, cp.Shards(), sc.Shards)
+		}
+		forked.Add(1)
+		return cp.RunContext(ctx, sc)
+	}
+	defer func() { pointRunner = old }()
+
+	base := poolScenario(t, 1)
+	base.Shards = 2
+	pulses := []int{0, 1, 2}
+	pts, err := SweepParallel(base, pulses, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(forked.Load()) != len(pulses) {
+		t.Fatalf("forked %d points, want %d (sharded sweep fell back to from-scratch runs)", forked.Load(), len(pulses))
+	}
+	for _, pt := range pts {
+		sc := base
+		sc.Pulses = pt.Pulses
+		want, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, want, pt.Result)
+	}
+}

@@ -125,6 +125,7 @@ type RunCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	store   ResultStore
+	pool    *CheckpointPool
 
 	hits, misses, uncached    uint64
 	diskHits, diskStoreErrors uint64
@@ -141,6 +142,27 @@ func (c *RunCache) SetStore(s ResultStore) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.store = s
+}
+
+// SetCheckpointPool layers a converged-snapshot pool under the cache (nil
+// detaches it): cache misses then fork a pooled warm-up checkpoint instead of
+// re-converging from scratch. Results are identical either way — checkpoint
+// forks are pinned byte-identical to from-scratch runs — so the pool is a
+// pure execution optimization, invisible to cache keys and stored Results.
+func (c *RunCache) SetCheckpointPool(p *CheckpointPool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool = p
+}
+
+// checkpointPool returns the layered pool (nil-safe).
+func (c *RunCache) checkpointPool() *CheckpointPool {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pool
 }
 
 // Stats reports how many Run/Sweep points were served from cache (hits),
@@ -281,10 +303,23 @@ func (c *RunCache) RunContext(ctx context.Context, sc Scenario) (res *Result, er
 	}()
 	if stored, ok := c.loadStored(key); ok {
 		e.res = stored
+	} else if pool := c.checkpointPool(); pool != nil {
+		e.res, e.err = runPooled(ctx, pool, sc)
 	} else {
 		e.res, e.err = cachedRunner(ctx, sc)
 	}
 	return e.res, e.err
+}
+
+// runPooled executes a cache miss by forking a pooled warm-up checkpoint —
+// byte-identical to a from-scratch run, minus the warm-up when the pool is
+// warm.
+func runPooled(ctx context.Context, pool *CheckpointPool, sc Scenario) (*Result, error) {
+	cp, err := pool.Get(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	return cp.RunContext(ctx, sc)
 }
 
 // Sweep is SweepParallel through the cache; see SweepContext.
@@ -361,7 +396,18 @@ func (c *RunCache) SweepContext(ctx context.Context, base Scenario, pulses []int
 			}
 			release(nil)
 		}()
-		pts, err := SweepParallelContext(ctx, base, missPulses, workers)
+		// With a pool, the sweep's one warm-up comes from (and stays in) the
+		// pool, so repeat sweeps of the same scenario skip it entirely.
+		var pts []SweepPoint
+		var err error
+		if pool := c.checkpointPool(); pool != nil {
+			var cp *Checkpoint
+			if cp, err = pool.Get(ctx, base); err == nil {
+				pts, err = sweepCheckpointed(ctx, cp, base, missPulses, workers)
+			}
+		} else {
+			pts, err = SweepParallelContext(ctx, base, missPulses, workers)
+		}
 		if err == nil || pts != nil {
 			for j, e := range missEntries {
 				e.res, e.err = pts[j].Result, pts[j].Err

@@ -462,15 +462,30 @@ func measure(ctx context.Context, sc Scenario, n *bgp.Network, origin bgp.Router
 // checkpoint per measurement instead of re-converging from scratch, which is
 // how sweeps amortize warm-up across pulse counts. A Checkpoint is safe for
 // concurrent Run calls — each call forks its own independent copy.
+//
+// The parked state is engine-specific: a Shards<=1 scenario parks a
+// sequential bgp.Snapshot, a Shards>1 scenario parks a bgp.ShardedSnapshot
+// with the partition baked in. A checkpoint only serves scenarios on the
+// engine (and shard count) it was built with — the run's Result is identical
+// either way (the cache fingerprint deliberately ignores Shards), but the
+// parked kernel state is not interchangeable.
 type Checkpoint struct {
-	snap   *bgp.Snapshot
+	snap   *bgp.Snapshot        // sequential engine (Shards <= 1)
+	shsnap *bgp.ShardedSnapshot // sharded engine (Shards > 1)
+	shards int                  // shard count shsnap was built with
 	origin bgp.RouterID
 }
 
+// Shards returns the shard count the checkpoint was built with (0 or 1 for a
+// sequential checkpoint).
+func (c *Checkpoint) Shards() int { return c.shards }
+
 // NewCheckpoint executes the scenario's warm-up once (exactly as Run would)
 // and parks the converged state. Only the warm-up inputs matter here — the
-// graph, ISP and Config; measurement-phase fields (Pulses, FlapInterval,
-// Watch, Trace, Impair, Faults, Watchdog) take effect in Checkpoint.Run.
+// graph, ISP, Config and Shards (a Shards>1 scenario converges on the sharded
+// engine and parks a sharded snapshot); measurement-phase fields (Pulses,
+// FlapInterval, Watch, Trace, Impair, Faults, Watchdog) take effect in
+// Checkpoint.Run.
 func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
 	return NewCheckpointContext(context.Background(), sc)
 }
@@ -478,6 +493,18 @@ func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
 // NewCheckpointContext is NewCheckpoint with the warm-up run under ctx; a
 // tripped context stops it with a typed ErrCanceled / ErrBudgetExceeded.
 func NewCheckpointContext(ctx context.Context, sc Scenario) (*Checkpoint, error) {
+	if sc.Shards > 1 {
+		sn, origin, err := convergeSharded(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		defer sn.Close()
+		snap, err := sn.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+		}
+		return &Checkpoint{shsnap: snap, shards: sc.Shards, origin: origin}, nil
+	}
 	n, origin, err := converge(ctx, sc)
 	if err != nil {
 		return nil, err
@@ -491,8 +518,9 @@ func NewCheckpointContext(ctx context.Context, sc Scenario) (*Checkpoint, error)
 
 // Run forks the converged checkpoint and measures the scenario's flap phase
 // on the fork, producing a Result identical to Run(sc) from scratch. sc must
-// describe the same warm-up the checkpoint was built from (same Graph, ISP
-// and Config); only the measurement-phase fields may differ between calls.
+// describe the same warm-up the checkpoint was built from (same Graph, ISP,
+// Config and Shards); only the measurement-phase fields may differ between
+// calls.
 func (c *Checkpoint) Run(sc Scenario) (*Result, error) {
 	return c.RunContext(context.Background(), sc)
 }
@@ -505,8 +533,20 @@ func (c *Checkpoint) RunContext(ctx context.Context, sc Scenario) (*Result, erro
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
-	if sc.Shards > 1 {
-		return nil, fmt.Errorf("experiment: checkpoints are sequential-engine state; run sharded scenarios from scratch (Shards=%d)", sc.Shards)
+	switch {
+	case sc.Shards > 1 && c.shsnap == nil:
+		return nil, fmt.Errorf("experiment: sharded scenario (Shards=%d) on a sequential checkpoint; build the checkpoint with the same Shards", sc.Shards)
+	case sc.Shards <= 1 && c.shsnap != nil:
+		return nil, fmt.Errorf("experiment: sequential scenario on a sharded checkpoint (built with Shards=%d)", c.shards)
+	case c.shsnap != nil:
+		if sc.Shards != c.shards {
+			return nil, fmt.Errorf("experiment: checkpoint built with Shards=%d cannot run Shards=%d (the partition is part of the parked state)", c.shards, sc.Shards)
+		}
+		sn, err := c.shsnap.Fork()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint fork: %w", err)
+		}
+		return measureSharded(ctx, sc, sn, c.origin)
 	}
 	_, n, err := c.snap.Fork()
 	if err != nil {

@@ -43,40 +43,63 @@ func (s Scenario) validateSharded() error {
 // the sequential engine's for the same seed, the reconstructed Result matches
 // a Shards<=1 run of the same scenario.
 func runSharded(ctx context.Context, sc Scenario) (*Result, error) {
-	if err := sc.validate(); err != nil {
+	sn, origin, err := convergeSharded(ctx, sc)
+	if err != nil {
 		return nil, err
+	}
+	return measureSharded(ctx, sc, sn, origin)
+}
+
+// convergeSharded is converge for the sharded engine: build the partitioned
+// run topology, originate the flap prefix, drain to convergence, align the
+// shard clocks at the barrier and wipe damping state and counters. The
+// returned ensemble is quiescent at a barrier and ready for measureSharded —
+// or for a ShardedNetwork.Snapshot, which is how sharded sweeps amortize the
+// warm-up across pulse counts. The caller owns the ensemble (Close it).
+func convergeSharded(ctx context.Context, sc Scenario) (*bgp.ShardedNetwork, bgp.RouterID, error) {
+	if err := sc.validate(); err != nil {
+		return nil, 0, err
 	}
 
 	// Build the run topology exactly as converge does.
 	g := sc.Graph.Clone()
 	origin := g.AddNode()
 	if err := g.AddEdge(origin, sc.ISP); err != nil {
-		return nil, fmt.Errorf("experiment: attach origin: %w", err)
+		return nil, 0, fmt.Errorf("experiment: attach origin: %w", err)
 	}
 	if g.Annotated() {
 		if err := g.SetRelationship(origin, sc.ISP, topology.RelProvider); err != nil {
-			return nil, fmt.Errorf("experiment: annotate origin link: %w", err)
+			return nil, 0, fmt.Errorf("experiment: annotate origin link: %w", err)
 		}
 	}
 	assign, err := topology.Partition(g, sc.Shards)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: partition: %w", err)
+		return nil, 0, fmt.Errorf("experiment: partition: %w", err)
 	}
 	sn, err := bgp.NewShardedNetwork(g, sc.Config, assign)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	defer sn.Close()
-	grp := sn.Group()
 
 	// Warm-up: no hooks installed, so the trace covers only the flap phase.
 	sn.Router(origin).Originate(FlapPrefix)
-	if err := grp.RunContext(ctx); err != nil {
-		return nil, wrapInterrupt(ctx, "warm-up", err)
+	if err := sn.Group().RunContext(ctx); err != nil {
+		sn.Close()
+		return nil, 0, wrapInterrupt(ctx, "warm-up", err)
 	}
 	sn.Align()
 	sn.ResetDamping()
 	sn.ResetCounters()
+	return sn, origin, nil
+}
+
+// measureSharded executes the scenario's flap phase and drain on a converged
+// ensemble (fresh from convergeSharded, or a fork of a sharded checkpoint)
+// and reconstructs the Result from the merged per-shard traces. It takes
+// ownership of sn and closes it.
+func measureSharded(ctx context.Context, sc Scenario, sn *bgp.ShardedNetwork, origin bgp.RouterID) (*Result, error) {
+	defer sn.Close()
+	grp := sn.Group()
 
 	interval := sc.FlapInterval
 	if interval == 0 {

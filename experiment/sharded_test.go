@@ -235,15 +235,34 @@ func TestShardedValidation(t *testing.T) {
 			t.Fatalf("want lookahead error, got %v", err)
 		}
 	})
-	t.Run("checkpoint-rejects-sharded", func(t *testing.T) {
-		cp, err := NewCheckpoint(valid())
+	// Checkpoints are engine-specific state: a sequential checkpoint cannot
+	// serve a sharded scenario, a sharded one cannot serve a sequential (or
+	// differently sharded) scenario — each mismatch is a clear error, not a
+	// silent from-scratch run.
+	t.Run("checkpoint-engine-mismatch", func(t *testing.T) {
+		seqCP, err := NewCheckpoint(valid())
 		if err != nil {
 			t.Fatal(err)
 		}
-		sc := valid()
-		sc.Shards = 2
-		if _, err := cp.Run(sc); err == nil {
-			t.Fatal("checkpoint accepted a sharded scenario")
+		sharded := valid()
+		sharded.Shards = 2
+		if _, err := seqCP.Run(sharded); err == nil || !strings.Contains(err.Error(), "sequential checkpoint") {
+			t.Fatalf("sequential checkpoint accepted a sharded scenario: %v", err)
+		}
+		shCP, err := NewCheckpoint(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shCP.Shards() != 2 {
+			t.Fatalf("Shards() = %d, want 2", shCP.Shards())
+		}
+		if _, err := shCP.Run(valid()); err == nil || !strings.Contains(err.Error(), "sharded checkpoint") {
+			t.Fatalf("sharded checkpoint accepted a sequential scenario: %v", err)
+		}
+		other := valid()
+		other.Shards = 3
+		if _, err := shCP.Run(other); err == nil || !strings.Contains(err.Error(), "Shards=3") {
+			t.Fatalf("sharded checkpoint accepted a different shard count: %v", err)
 		}
 	})
 }

@@ -71,23 +71,29 @@ func SweepParallelContext(ctx context.Context, base Scenario, pulses []int, work
 	if len(pulses) == 0 {
 		return nil, nil
 	}
+	// One warm-up for the whole sweep, on whichever engine the scenario asks
+	// for: a Shards>1 base converges on the sharded engine and parks a sharded
+	// snapshot, so sharded sweeps fork per point exactly like sequential ones.
+	cp, err := NewCheckpointContext(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	return sweepCheckpointed(ctx, cp, base, pulses, workers)
+}
+
+// sweepCheckpointed runs the fixed worker pool over pulses, forking cp per
+// point. It is the shared back half of SweepParallelContext and the
+// RunCache's pooled sweep path (which reuses a checkpoint across requests
+// instead of building one per sweep).
+func sweepCheckpointed(ctx context.Context, cp *Checkpoint, base Scenario, pulses []int, workers int) ([]SweepPoint, error) {
+	if len(pulses) == 0 {
+		return nil, nil
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > len(pulses) {
 		workers = len(pulses)
-	}
-	// Sharded runs cannot fork a sequential checkpoint; each point is a full
-	// from-scratch run (runSweepPoint treats a nil checkpoint that way). The
-	// warm-up amortization is lost, but each point's internal parallelism is
-	// the point of sharding in the first place.
-	var cp *Checkpoint
-	if base.Shards <= 1 {
-		var err error
-		cp, err = NewCheckpointContext(ctx, base)
-		if err != nil {
-			return nil, err
-		}
 	}
 	out := make([]SweepPoint, len(pulses))
 	for i, n := range pulses {

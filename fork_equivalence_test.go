@@ -43,6 +43,13 @@ func forkEquivalenceScenarios(t *testing.T) map[string]experiment.Scenario {
 		"internet-damped": {Graph: inet, ISP: 15, Config: damped, Pulses: 3},
 		"internet-rcn":    {Graph: inet, ISP: 15, Config: rcn, Pulses: 3},
 		"internet-wheel":  {Graph: inet, ISP: 15, Config: wheel, Pulses: 3},
+		// Sharded legs: the same invariant on the parallel engine, where the
+		// checkpoint parks a whole kernel group plus the coordinator state and
+		// a fork must remap every shard's handlers onto its forked network.
+		"mesh-damped-sharded":     {Graph: mesh, ISP: 0, Config: damped, Pulses: 3, Shards: 2},
+		"mesh-wheel-sharded":      {Graph: mesh, ISP: 0, Config: wheel, Pulses: 3, Shards: 2},
+		"internet-damped-sharded": {Graph: inet, ISP: 15, Config: damped, Pulses: 3, Shards: 2},
+		"internet-wheel-sharded":  {Graph: inet, ISP: 15, Config: wheel, Pulses: 3, Shards: 2},
 	}
 }
 

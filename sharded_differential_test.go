@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"rfd/bgp"
 	"rfd/damping"
+	"rfd/experiment"
 	"rfd/faults"
 	"rfd/sim"
 	"rfd/topology"
@@ -288,6 +290,163 @@ func TestShardedDifferentialMatrix(t *testing.T) {
 				t.Fatalf("sharded trace diverges from sequential at byte %d (len %d vs %d)", i, len(want), len(got))
 			}
 		})
+	}
+}
+
+// TestShardedForkDifferential extends the differential matrix with the fork
+// legs the sharded checkpoint work introduces: for every {topology} × {exact,
+// wheel} × {clean, faulty} cell, a point resumed from a forked sharded
+// checkpoint must produce the byte-identical canonical trace of (a) a
+// from-scratch sharded run and (b) a run resumed from a sequential checkpoint
+// of the same scenario. (a) pins Snapshot/Fork round-tripping on the sharded
+// engine; (b) pins that checkpointing did not reintroduce an engine skew the
+// base matrix rules out for from-scratch runs.
+func TestShardedForkDifferential(t *testing.T) {
+	canonicalJSONL := func(t *testing.T, log *trace.Log) []byte {
+		t.Helper()
+		if log.Dropped() != 0 {
+			t.Fatalf("trace dropped %d events", log.Dropped())
+		}
+		var buf bytes.Buffer
+		// Canonical (At, Router) order: the sequential engine records live in
+		// execution order, the sharded engine per shard — Merge maps both onto
+		// the one comparable sequence.
+		if err := trace.Merge(log).WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	runLeg := func(t *testing.T, sc experiment.Scenario,
+		run func(experiment.Scenario) (*experiment.Result, error)) (*experiment.Result, []byte) {
+		t.Helper()
+		sc.Trace = trace.NewLog(0)
+		res, err := run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, canonicalJSONL(t, sc.Trace)
+	}
+	diverge := func(t *testing.T, leg string, want, got []byte) {
+		t.Helper()
+		if bytes.Equal(want, got) {
+			return
+		}
+		i := 0
+		for i < len(want) && i < len(got) && want[i] == got[i] {
+			i++
+		}
+		t.Fatalf("%s trace diverges from scratch sharded at byte %d (len %d vs %d)",
+			leg, i, len(want), len(got))
+	}
+
+	for _, gr := range []struct {
+		name   string
+		graph  func(t *testing.T) *topology.Graph
+		pulses int
+	}{
+		{"mesh6x6", func(t *testing.T) *topology.Graph {
+			g, err := topology.Torus(6, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}, 2},
+		{"internet208", func(t *testing.T) *topology.Graph {
+			g, err := topology.InternetDerived(topology.DefaultInternetConfig(208, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}, 1},
+	} {
+		for _, eng := range []struct {
+			name string
+			kind damping.EngineKind
+		}{
+			{"exact", damping.EngineExact},
+			{"wheel", damping.EngineWheel},
+		} {
+			for _, withFaults := range []bool{false, true} {
+				fname := "clean"
+				if withFaults {
+					fname = "faulty"
+				}
+				gr, eng, withFaults := gr, eng, withFaults
+				t.Run(gr.name+"/"+eng.name+"/"+fname, func(t *testing.T) {
+					g := gr.graph(t)
+					// mk builds a fresh scenario per leg: impairment streams are
+					// consumed during a run, so legs must never share an
+					// Impairments instance (same seed → identical streams).
+					mk := func(shards int) experiment.Scenario {
+						cfg := bgp.DefaultConfig()
+						params := damping.Cisco()
+						cfg.Damping = &params
+						cfg.Seed = 13
+						cfg.DampingEngine = eng.kind
+						sc := experiment.Scenario{
+							Graph:  g,
+							ISP:    topology.NodeID(g.NumNodes() / 2),
+							Config: cfg,
+							Pulses: gr.pulses,
+							Shards: shards,
+						}
+						if withFaults {
+							im := faults.NewImpairments(cfg.Seed)
+							im.UseLinkStreams()
+							if err := im.SetDefault(faults.Profile{Loss: 0.01, MaxJitter: 2 * time.Millisecond}); err != nil {
+								t.Fatal(err)
+							}
+							sc.Impair = im
+							sc.Faults = faults.NewPlan(
+								faults.FlapLink(30*time.Second, 0, 1, 30*time.Second),
+								faults.ResetSession(45*time.Second, 2, 3),
+							)
+						}
+						return sc
+					}
+
+					scratchRes, scratchTrace := runLeg(t, mk(4), experiment.Run)
+					if len(scratchTrace) == 0 {
+						t.Fatal("empty trace: the comparison is vacuous")
+					}
+
+					cp4, err := experiment.NewCheckpoint(mk(4))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cp4.Shards() != 4 {
+						t.Fatalf("checkpoint shards = %d, want 4", cp4.Shards())
+					}
+					shRes, shTrace := runLeg(t, mk(4), cp4.Run)
+					diverge(t, "sharded-fork", scratchTrace, shTrace)
+					if !reflect.DeepEqual(scratchRes, shRes) {
+						t.Fatal("sharded-fork Result differs from scratch sharded Result")
+					}
+
+					cp1, err := experiment.NewCheckpoint(mk(0))
+					if err != nil {
+						t.Fatal(err)
+					}
+					seqRes, seqTrace := runLeg(t, mk(0), cp1.Run)
+					diverge(t, "sequential-fork", scratchTrace, seqTrace)
+					// Cross-engine Results are built by different observers
+					// (live hooks vs trace reconstruction); compare the
+					// measured quantities rather than the struct graphs.
+					if seqRes.MessageCount != scratchRes.MessageCount ||
+						seqRes.ConvergenceTime != scratchRes.ConvergenceTime ||
+						seqRes.FlapStart != scratchRes.FlapStart ||
+						seqRes.FlapEnd != scratchRes.FlapEnd ||
+						seqRes.EndTime != scratchRes.EndTime ||
+						seqRes.MaxDamped != scratchRes.MaxDamped ||
+						seqRes.NoisyReuses != scratchRes.NoisyReuses ||
+						seqRes.SilentReuses != scratchRes.SilentReuses ||
+						seqRes.OriginSuppressed != scratchRes.OriginSuppressed ||
+						seqRes.Dropped != scratchRes.Dropped {
+						t.Fatalf("sequential-fork Result diverges:\nseq:     %+v\nsharded: %+v", seqRes, scratchRes)
+					}
+				})
+			}
+		}
 	}
 }
 
