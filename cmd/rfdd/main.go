@@ -6,9 +6,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/sweep    JSON sweep request -> JSON points (partial on failure)
-//	GET  /v1/figure   ?name=table1|fig3|fig8|fig9|fig13|fig14 [&small=1] -> CSV
-//	GET  /healthz     liveness + cache/admission statistics (JSON)
+//	POST /v1/sweep         JSON sweep request -> JSON points (partial on failure)
+//	POST /v1/sweep/stream  same request -> NDJSON progress events (warmup,
+//	                       per-point as each completes, terminal done summary)
+//	GET  /v1/figure        ?name=table1|fig3|fig8|fig9|fig13|fig14 [&small=1]
+//	                       [&timeout_ms=N] -> CSV
+//	GET  /healthz          liveness + cache/admission/stream statistics (JSON)
 //
 // Operational behaviour:
 //
@@ -32,10 +35,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -127,6 +134,11 @@ type server struct {
 	// immediately is rejected with 429.
 	queueSlots chan struct{}
 	runSlots   chan struct{}
+
+	// Stream telemetry: requests currently emitting NDJSON, and the total
+	// number of per-point events streamed since startup.
+	streamsActive  atomic.Int64
+	streamedPoints atomic.Uint64
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -168,6 +180,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/sweep/stream", s.handleSweepStream)
 	mux.HandleFunc("/v1/figure", s.handleFigure)
 	return mux
 }
@@ -256,23 +269,56 @@ type sweepPointJSON struct {
 	Error           string  `json:"error,omitempty"`
 }
 
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+// decodeSweep parses and validates a sweep request body, writing the 4xx
+// reply itself on failure. Shared by the buffered and streaming endpoints so
+// both reject the exact same inputs before admission control.
+func (s *server) decodeSweep(w http.ResponseWriter, r *http.Request) (req sweepRequest, base experiment.Scenario, pulses []int, ok bool) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-		return
+		return req, base, nil, false
 	}
-	var req sweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
+		return req, base, nil, false
 	}
 	base, pulses, err := req.scenario()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return req, base, nil, false
+	}
+	return req, base, pulses, true
+}
+
+// pointsJSON renders sweep points in the wire form shared by the buffered
+// response and the stream's per-point/terminal events.
+func pointsJSON(pts []experiment.SweepPoint) []sweepPointJSON {
+	out := make([]sweepPointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = pointJSON(p)
+	}
+	return out
+}
+
+// pointJSON renders one sweep point.
+func pointJSON(p experiment.SweepPoint) sweepPointJSON {
+	pt := sweepPointJSON{Pulses: p.Pulses}
+	if p.Err != nil {
+		pt.Error = p.Err.Error()
+		return pt
+	}
+	pt.ConvergenceSecs = p.Result.ConvergenceTime.Seconds()
+	pt.Messages = p.Result.MessageCount
+	pt.MaxDamped = p.Result.MaxDamped
+	return pt
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, base, pulses, ok := s.decodeSweep(w, r)
+	if !ok {
 		return
 	}
-	release, ok := s.admit(w, r)
-	if !ok {
+	release, admitted := s.admit(w, r)
+	if !admitted {
 		return
 	}
 	defer release()
@@ -280,17 +326,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	pts, sweepErr := s.cache.SweepContext(ctx, base, pulses, s.cfg.Workers)
-	resp := sweepResponse{Points: make([]sweepPointJSON, len(pts))}
-	for i, p := range pts {
-		resp.Points[i].Pulses = p.Pulses
-		if p.Err != nil {
-			resp.Points[i].Error = p.Err.Error()
-			continue
-		}
-		resp.Points[i].ConvergenceSecs = p.Result.ConvergenceTime.Seconds()
-		resp.Points[i].Messages = p.Result.MessageCount
-		resp.Points[i].MaxDamped = p.Result.MaxDamped
-	}
+	resp := sweepResponse{Points: pointsJSON(pts)}
 	if sweepErr != nil {
 		resp.Error = sweepErr.Error()
 		// Partial results still ship, with the status telling the class of
@@ -303,16 +339,168 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// streamEvent is one NDJSON line of POST /v1/sweep/stream. Event is "warmup",
+// "point" or "done":
+//
+//   - warmup: Status "started" then "done" while a convergence warm-up runs on
+//     the request's behalf (absent when the converged snapshot was pooled and
+//     every point was cache-served).
+//   - point: one per pulse count, in completion order. Cached distinguishes a
+//     cache/singleflight-served point from a live run; Point carries exactly
+//     the object the buffered endpoint would return for it.
+//   - done: terminal summary. Points is the full buffered-identical array (in
+//     request order), Error the joined sweep error, HTTPStatus the status the
+//     buffered endpoint would have answered, plus per-request and server-wide
+//     cache/snapshot counters.
+type streamEvent struct {
+	Event  string          `json:"event"`
+	Status string          `json:"status,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Point  *sweepPointJSON `json:"point,omitempty"`
+
+	// done-only fields.
+	Points       []sweepPointJSON `json:"points,omitempty"`
+	Error        string           `json:"error,omitempty"`
+	HTTPStatus   int              `json:"http_status,omitempty"`
+	LivePoints   int              `json:"live_points,omitempty"`
+	CachedPoints int              `json:"cached_points,omitempty"`
+	CacheHits    uint64           `json:"cache_hits,omitempty"`
+	CacheMisses  uint64           `json:"cache_misses,omitempty"`
+	SnapshotHits uint64           `json:"snapshot_hits,omitempty"`
+	SnapshotMiss uint64           `json:"snapshot_misses,omitempty"`
+}
+
+// eventStream serializes NDJSON events onto one response. The sweep's worker
+// goroutines report concurrently, and http.ResponseWriter is not safe for
+// concurrent use, so every write holds the mutex and flushes before release —
+// a client reading the connection sees each event as soon as it happened.
+type eventStream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher
+}
+
+func (es *eventStream) emit(ev streamEvent) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	// Encode errors mean the client went away; the sweep keeps running for
+	// the cache's benefit and the context tear-down ends it if it was live.
+	if es.enc.Encode(ev) == nil {
+		es.fl.Flush()
+	}
+}
+
+// handleSweepStream is POST /v1/sweep/stream — same request, admission control,
+// deadlines, panic isolation and partial-result semantics — but with the
+// response streamed as NDJSON progress events instead of one buffered JSON
+// document: a warm-up event pair when a convergence runs, one point event as
+// each pulse count settles (cache hits flagged), and a terminal done event
+// whose Points array is byte-identical to the buffered endpoint's.
+func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	req, base, pulses, ok := s.decodeSweep(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	s.streamsActive.Add(1)
+	defer s.streamsActive.Add(-1)
+
+	// From here on the response is committed: failures ride in the terminal
+	// done event (with the status the buffered endpoint would have used),
+	// because the 200 header is already on the wire.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	es := &eventStream{enc: json.NewEncoder(w), fl: fl}
+
+	var live, cached atomic.Int64
+	prog := &experiment.Progress{
+		WarmupStarted: func() { es.emit(streamEvent{Event: "warmup", Status: "started"}) },
+		WarmupDone:    func() { es.emit(streamEvent{Event: "warmup", Status: "done"}) },
+		PointDone: func(p experiment.SweepPoint) {
+			live.Add(1)
+			s.streamedPoints.Add(1)
+			pt := pointJSON(p)
+			es.emit(streamEvent{Event: "point", Point: &pt})
+		},
+		CacheHit: func(p experiment.SweepPoint) {
+			cached.Add(1)
+			s.streamedPoints.Add(1)
+			pt := pointJSON(p)
+			es.emit(streamEvent{Event: "point", Cached: true, Point: &pt})
+		},
+	}
+
+	pts, sweepErr := s.cache.SweepContext(experiment.WithProgress(ctx, prog), base, pulses, s.cfg.Workers)
+
+	hits, misses, _ := s.cache.Stats()
+	done := streamEvent{
+		Event:        "done",
+		HTTPStatus:   http.StatusOK,
+		Points:       pointsJSON(pts),
+		LivePoints:   int(live.Load()),
+		CachedPoints: int(cached.Load()),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	}
+	if s.pool != nil {
+		done.SnapshotHits, done.SnapshotMiss, _ = s.pool.Stats()
+	}
+	if sweepErr != nil {
+		done.Error = sweepErr.Error()
+		done.HTTPStatus = statusForErr(sweepErr)
+	}
+	es.emit(done)
+}
+
+// Request-validation bounds. maxRouters caps the simulated topology: a
+// request like {"rows":100000,"cols":100000} describes a 10^10-router mesh
+// whose construction would OOM the daemon straight past admission control
+// (admission bounds how many requests run, not how big one is), so oversized
+// shapes are rejected with 400 before any allocation. maxFlapIntervalS caps
+// the flap interval far above every damping hold-down while staying far below
+// the float64 values whose nanosecond conversion overflows time.Duration
+// silently (anything past ~9.2e9 s wraps negative).
+const (
+	maxRouters       = 1 << 16 // 65536 routers
+	maxFlapIntervalS = 86400   // one day, vs. a 60 min max hold-down
+)
+
 // scenario materializes the request into a runnable base scenario.
 func (r sweepRequest) scenario() (experiment.Scenario, []int, error) {
 	opts := experiment.DefaultOptions()
 	opts.MeshRows, opts.MeshCols = 5, 5
 	opts.InternetNodes = 30
+	if r.Rows < 0 || r.Cols < 0 || r.Nodes < 0 {
+		return experiment.Scenario{}, nil, fmt.Errorf("negative topology size (rows %d, cols %d, nodes %d)", r.Rows, r.Cols, r.Nodes)
+	}
+	if r.Rows > maxRouters || r.Cols > maxRouters {
+		return experiment.Scenario{}, nil, fmt.Errorf("mesh side %dx%d exceeds the %d-router limit", r.Rows, r.Cols, maxRouters)
+	}
 	if r.Rows > 0 {
 		opts.MeshRows = r.Rows
 	}
 	if r.Cols > 0 {
 		opts.MeshCols = r.Cols
+	}
+	// Sides are already bounded by maxRouters, so the product cannot
+	// overflow int64.
+	if n := int64(opts.MeshRows) * int64(opts.MeshCols); n > maxRouters {
+		return experiment.Scenario{}, nil, fmt.Errorf("mesh %dx%d = %d routers exceeds the %d-router limit", opts.MeshRows, opts.MeshCols, n, maxRouters)
+	}
+	if r.Nodes > maxRouters {
+		return experiment.Scenario{}, nil, fmt.Errorf("nodes %d exceeds the %d-router limit", r.Nodes, maxRouters)
 	}
 	if r.Nodes > 0 {
 		opts.InternetNodes = r.Nodes
@@ -320,8 +508,23 @@ func (r sweepRequest) scenario() (experiment.Scenario, []int, error) {
 	if r.Seed > 0 {
 		opts.Seed = r.Seed
 	}
-	if r.FlapIntervalS > 0 {
-		opts.FlapInterval = time.Duration(r.FlapIntervalS * float64(time.Second))
+	if f := r.FlapIntervalS; f != 0 {
+		// NaN/Inf cannot arrive through encoding/json, but the bound must not
+		// depend on the transport; and large-but-finite values overflow the
+		// nanosecond conversion into a negative Duration, which pre-fix
+		// surfaced as a baffling "negative flap interval" internal error (or,
+		// for merely huge values, a silently absurd workload). Negative values
+		// were silently ignored before; they are a client bug, so say so.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return experiment.Scenario{}, nil, fmt.Errorf("flap_interval_s %v is not a finite number", f)
+		}
+		if f < 0 {
+			return experiment.Scenario{}, nil, fmt.Errorf("flap_interval_s %v is negative", f)
+		}
+		if f > maxFlapIntervalS {
+			return experiment.Scenario{}, nil, fmt.Errorf("flap_interval_s %v exceeds the %d s limit", f, maxFlapIntervalS)
+		}
+		opts.FlapInterval = time.Duration(f * float64(time.Second))
 	}
 	engine, err := damping.ParseEngine(r.Engine)
 	if err != nil {
@@ -352,6 +555,18 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.URL.Query().Get("name")
+	// The eval figures honor the same per-request budget tightening as
+	// /v1/sweep; previously the query parameter was silently ignored and a
+	// figure request could only be bounded by the server-wide -timeout.
+	var timeoutMS int64
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		t, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || t < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", v))
+			return
+		}
+		timeoutMS = t
+	}
 	opts := experiment.DefaultOptions()
 	opts.Workers = s.cfg.Workers
 	opts.Cache = s.cache
@@ -388,7 +603,7 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer release()
-		ctx, cancel := s.requestContext(r, 0)
+		ctx, cancel := s.requestContext(r, timeoutMS)
 		defer cancel()
 		opts.Ctx = ctx
 		data, err := experiment.Eval(opts)
@@ -437,6 +652,10 @@ type healthz struct {
 	MemoryOnly    bool    `json:"memory_only"`
 	Concurrency   int     `json:"concurrency"`
 	QueueCapacity int     `json:"queue_capacity"`
+	// Streaming: requests currently emitting NDJSON on /v1/sweep/stream, and
+	// the total point events streamed since startup.
+	StreamsActive  int64  `json:"streams_active"`
+	StreamedPoints uint64 `json:"streamed_points"`
 	// Snapshot pool: warm-up reuse. A snapshot hit means a cache-miss request
 	// skipped its convergence phase by forking a pooled checkpoint.
 	SnapshotCapacity  int    `json:"snapshot_capacity"`
@@ -450,19 +669,28 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, uncacheable := s.cache.Stats()
 	storeHits, storeErrors := s.cache.StoreStats()
 	running := len(s.runSlots)
+	// The two channel reads are not atomic with each other: a request can
+	// take its run slot between them, making the difference transiently
+	// negative under churn. A negative queue depth is never real — clamp.
+	queued := len(s.queueSlots) - running
+	if queued < 0 {
+		queued = 0
+	}
 	h := healthz{
-		Status:        "ok",
-		UptimeSecs:    time.Since(s.started).Seconds(),
-		Running:       running,
-		Queued:        len(s.queueSlots) - running,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		Uncacheable:   uncacheable,
-		StoreHits:     storeHits,
-		StoreErrors:   storeErrors,
-		MemoryOnly:    s.disk == nil,
-		Concurrency:   s.cfg.Concurrency,
-		QueueCapacity: s.cfg.Queue,
+		Status:         "ok",
+		UptimeSecs:     time.Since(s.started).Seconds(),
+		Running:        running,
+		Queued:         queued,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Uncacheable:    uncacheable,
+		StoreHits:      storeHits,
+		StoreErrors:    storeErrors,
+		MemoryOnly:     s.disk == nil,
+		Concurrency:    s.cfg.Concurrency,
+		QueueCapacity:  s.cfg.Queue,
+		StreamsActive:  s.streamsActive.Load(),
+		StreamedPoints: s.streamedPoints.Load(),
 	}
 	if s.disk != nil {
 		loads, _, stores, corrupt, _ := s.disk.Stats()

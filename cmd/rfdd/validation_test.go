@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSweepTopologyBounds: oversized or negative topology requests are
+// rejected with 400 before any allocation. Pre-fix, a single
+// {"rows":100000,"cols":100000} request would try to build a 10^10-router
+// mesh and OOM the daemon straight past admission control.
+func TestSweepTopologyBounds(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"huge mesh", `{"rows":100000,"cols":100000}`, "router limit"},
+		{"huge side", `{"rows":70000,"cols":1}`, "router limit"},
+		{"huge product", `{"rows":1000,"cols":1000}`, "router limit"},
+		{"huge nodes", `{"nodes":10000000}`, "router limit"},
+		{"negative rows", `{"rows":-1}`, "negative topology size"},
+		{"negative nodes", `{"nodes":-5}`, "negative topology size"},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(tc.body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", tc.name, rec.Code, rec.Body)
+			continue
+		}
+		var resp errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: bad error body %q", tc.name, rec.Body)
+		}
+		if !strings.Contains(resp.Error, tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, resp.Error, tc.wantErr)
+		}
+	}
+	// A sane large-but-bounded request still passes validation (it fails or
+	// succeeds on its merits, not with a 400).
+	rec, _ := postSweep(t, h, `{"rows":8,"cols":8,"pulses":[0],"timeout_ms":60000}`)
+	if rec.Code == http.StatusBadRequest {
+		t.Fatalf("in-bounds mesh rejected: %s", rec.Body)
+	}
+}
+
+// TestSweepFlapIntervalValidation: non-finite, negative, and
+// overflow-large flap intervals are 400s naming the field. The negative case
+// is the pre-fix regression: it was silently ignored (the sweep ran with the
+// default interval and answered 200), masking a client bug. The 1e10 case
+// would overflow the nanosecond conversion into a negative time.Duration.
+func TestSweepFlapIntervalValidation(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"negative", `{"rows":3,"cols":3,"pulses":[0],"flap_interval_s":-5}`},
+		{"duration overflow", `{"rows":3,"cols":3,"pulses":[0],"flap_interval_s":1e10}`},
+		{"absurdly large", `{"rows":3,"cols":3,"pulses":[0],"flap_interval_s":1e300}`},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader([]byte(tc.body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", tc.name, rec.Code, rec.Body)
+			continue
+		}
+		var resp errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: bad error body %q", tc.name, rec.Body)
+		}
+		if !strings.Contains(resp.Error, "flap_interval_s") {
+			t.Errorf("%s: error %q does not name flap_interval_s", tc.name, resp.Error)
+		}
+	}
+	// An in-range interval still works.
+	rec, resp := postSweep(t, h, `{"rows":3,"cols":3,"pulses":[0],"flap_interval_s":120}`)
+	if rec.Code != http.StatusOK || resp.Error != "" {
+		t.Fatalf("valid interval: status = %d error %q", rec.Code, resp.Error)
+	}
+}
+
+// TestFigureTimeout: /v1/figure honors timeout_ms. Pre-fix the parameter was
+// silently ignored (requestContext(r, 0)) and a figure request could only be
+// bounded by the server-wide -timeout.
+func TestFigureTimeout(t *testing.T) {
+	s := testServer(t, serverConfig{})
+	h := s.routes()
+	req := httptest.NewRequest(http.MethodGet, "/v1/figure?name=fig8&small=1&timeout_ms=1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504 for a 1 ms budget", rec.Code, rec.Body)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "budget") {
+		t.Fatalf("error %q does not name the budget", resp.Error)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/figure?name=fig8&small=1&timeout_ms=abc", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad timeout_ms status = %d, want 400", rec.Code)
+	}
+}
+
+// TestHealthzQueuedClamp: running and queued come from two unsynchronized
+// channel reads, so a request observed in runSlots but already released from
+// queueSlots would pre-fix report a negative queue depth. Model that skew
+// directly and check the clamp.
+func TestHealthzQueuedClamp(t *testing.T) {
+	s := testServer(t, serverConfig{Concurrency: 2, Queue: 4})
+	// running=1, queued-channel=0: len(queueSlots)-running = -1 unclamped.
+	s.runSlots <- struct{}{}
+	defer func() { <-s.runSlots }()
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	var hz healthz
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Running != 1 {
+		t.Fatalf("running = %d, want 1", hz.Running)
+	}
+	if hz.Queued != 0 {
+		t.Fatalf("queued = %d, want clamped to 0", hz.Queued)
+	}
+}

@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string) error {
 		check    = fs.Bool("check", false, "run every scenario under the runtime invariant checker (slower; any violation fails the figure)")
 		engine   = fs.String("damping-engine", "exact", "damping backend for every run: exact | wheel (timer-wheel batch engine)")
 		shards   = fs.Int("shards", 1, "run every scenario on the sharded engine with this many shards (1 = sequential; figures are identical either way)")
+		progress = fs.Bool("progress", false, "print a live line per warm-up/sweep point to stderr as each completes (long figure builds stop being silent)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,11 @@ func run(ctx context.Context, args []string) error {
 	opts.Workers = *workers
 	opts.Check = *check
 	opts.Ctx = ctx
+	if *progress {
+		// Every sweep/checkpoint a figure runs reports through the options
+		// context; cache-served points show up flagged as cached.
+		opts.Ctx = experiment.WithProgress(ctx, experiment.TextProgress(os.Stderr))
+	}
 	if *shards > 1 {
 		if *check {
 			return fmt.Errorf("-check and -shards are incompatible (the invariant checker is sequential-engine)")

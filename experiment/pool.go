@@ -97,6 +97,21 @@ func (p *CheckpointPool) Get(ctx context.Context, sc Scenario) (*Checkpoint, err
 		p.mu.Unlock()
 		select {
 		case <-e.done:
+			// Already-parked checkpoint: no warm-up happens (and none is
+			// reported) on this request's behalf.
+			return e.cp, e.err
+		default:
+		}
+		// A concurrent request is converging this warm-up right now
+		// (singleflight). The latency is real for this caller too, so its
+		// Progress hook sees the warm-up even though another request runs it.
+		pr := progressFrom(ctx)
+		pr.warmupStarted()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				pr.warmupDone()
+			}
 			return e.cp, e.err
 		case <-ctx.Done():
 			return nil, ctxErr(ctx)

@@ -346,8 +346,14 @@ func (c *RunCache) SweepContext(ctx context.Context, base Scenario, pulses []int
 		c.mu.Unlock()
 		return SweepParallelContext(ctx, base, pulses, workers)
 	}
+	pr := progressFrom(ctx)
 	keys := make([]string, len(pulses))
 	entries := make([]*cacheEntry, len(pulses))
+	// live marks the points this call claimed and will execute itself; every
+	// other point resolves without running here (an in-memory or stored hit,
+	// or a concurrent caller's execution) and reports CacheHit instead of the
+	// live Queued/Started/Done sequence.
+	live := make([]bool, len(pulses))
 	var missPulses []int
 	var missKeys []string
 	var missEntries []*cacheEntry
@@ -363,6 +369,7 @@ func (c *RunCache) SweepContext(ctx context.Context, base Scenario, pulses []int
 			c.finish(keys[i], e)
 			continue
 		}
+		live[i] = true
 		missPulses = append(missPulses, n)
 		missKeys = append(missKeys, keys[i])
 		missEntries = append(missEntries, e)
@@ -446,6 +453,9 @@ func (c *RunCache) SweepContext(ctx context.Context, base Scenario, pulses []int
 				out[i].Err = fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], out[i].Err)
 			}
 			errs = append(errs, out[i].Err)
+		}
+		if !live[i] {
+			pr.cacheHit(out[i])
 		}
 	}
 	return out, errors.Join(errs...)

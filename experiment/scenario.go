@@ -492,7 +492,23 @@ func NewCheckpoint(sc Scenario) (*Checkpoint, error) {
 
 // NewCheckpointContext is NewCheckpoint with the warm-up run under ctx; a
 // tripped context stops it with a typed ErrCanceled / ErrBudgetExceeded.
+// The warm-up reports to the context's Progress hook (WithProgress):
+// WarmupStarted before convergence begins, WarmupDone once the converged
+// state is parked — warm-up dominates the latency of small sweeps, so a
+// streaming client must be able to see it.
 func NewCheckpointContext(ctx context.Context, sc Scenario) (*Checkpoint, error) {
+	pr := progressFrom(ctx)
+	pr.warmupStarted()
+	cp, err := newCheckpointContext(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	pr.warmupDone()
+	return cp, nil
+}
+
+// newCheckpointContext is the hook-free warm-up body.
+func newCheckpointContext(ctx context.Context, sc Scenario) (*Checkpoint, error) {
 	if sc.Shards > 1 {
 		sn, origin, err := convergeSharded(ctx, sc)
 		if err != nil {

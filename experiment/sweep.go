@@ -95,9 +95,11 @@ func sweepCheckpointed(ctx context.Context, cp *Checkpoint, base Scenario, pulse
 	if workers > len(pulses) {
 		workers = len(pulses)
 	}
+	pr := progressFrom(ctx)
 	out := make([]SweepPoint, len(pulses))
 	for i, n := range pulses {
 		out[i].Pulses = n
+		pr.pointQueued(n)
 	}
 	// The jobs channel is buffered with every index up front so neither the
 	// feeder nor the workers can block on it: a worker that exits early
@@ -117,9 +119,12 @@ func sweepCheckpointed(ctx context.Context, cp *Checkpoint, base Scenario, pulse
 					// Mark skipped points instead of running them; the sweep
 					// still reports every already-finished Result.
 					out[i].Err = fmt.Errorf("experiment: sweep n=%d: %w", pulses[i], ctxErr(ctx))
+					pr.pointDone(out[i])
 					continue
 				}
+				pr.pointStarted(pulses[i])
 				runSweepPoint(ctx, cp, base, pulses[i], &out[i])
+				pr.pointDone(out[i])
 			}
 		}()
 	}
